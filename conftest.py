@@ -1,0 +1,12 @@
+"""Repo-root conftest: make ``src/`` importable for plain ``pytest`` runs.
+
+The canonical invocation is ``PYTHONPATH=src python -m pytest -x -q``; this
+keeps ``pytest`` working without the env var too.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,120 @@
+"""ESM reproduction: surrogate latency models for hardware-aware NAS.
+
+Top-level re-exports of the public API: architecture spaces and samplers,
+the layer IR and builders, the simulated devices, all encodings and
+predictors, the paper's metrics, and the latency dataset layer.
+"""
+
+from .archspace import (
+    SPACE_NAMES,
+    ArchConfig,
+    BalancedSampler,
+    BlockConfig,
+    RandomSampler,
+    SpaceSpec,
+    assign_depth_bin,
+    densenet_space,
+    depth_bins,
+    mobilenetv3_space,
+    resnet_space,
+    space_by_name,
+)
+from .data import FORMAT_VERSION, LatencyDataset, LatencySample
+from .encodings import (
+    ENCODINGS,
+    Encoding,
+    FCCEncoding,
+    FCEncoding,
+    FeatureEncoding,
+    OneHotEncoding,
+    StatisticalEncoding,
+    get_encoding,
+    list_encodings,
+)
+from .hardware import (
+    DEVICE_NAMES,
+    DEVICES,
+    DeviceProfile,
+    SimulatedDevice,
+    device_by_name,
+)
+from .metrics import binwise_accuracy, mape, paper_accuracy, rmse, spearman
+from .network import (
+    BUILDER_FAMILIES,
+    Layer,
+    Network,
+    build_network,
+    num_kernels,
+    total_flops,
+    total_params,
+    total_traffic_bytes,
+    working_set_bytes,
+)
+from .predictors import (
+    PREDICTORS,
+    LookupTableSurrogate,
+    MLPPredictor,
+    get_predictor,
+    list_predictors,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # archspace
+    "ArchConfig",
+    "BlockConfig",
+    "SpaceSpec",
+    "resnet_space",
+    "mobilenetv3_space",
+    "densenet_space",
+    "space_by_name",
+    "SPACE_NAMES",
+    "RandomSampler",
+    "BalancedSampler",
+    "depth_bins",
+    "assign_depth_bin",
+    # network
+    "Layer",
+    "Network",
+    "build_network",
+    "BUILDER_FAMILIES",
+    "total_flops",
+    "total_params",
+    "total_traffic_bytes",
+    "working_set_bytes",
+    "num_kernels",
+    # hardware
+    "DeviceProfile",
+    "DEVICES",
+    "DEVICE_NAMES",
+    "device_by_name",
+    "SimulatedDevice",
+    # encodings
+    "Encoding",
+    "OneHotEncoding",
+    "FeatureEncoding",
+    "StatisticalEncoding",
+    "FCEncoding",
+    "FCCEncoding",
+    "ENCODINGS",
+    "get_encoding",
+    "list_encodings",
+    # predictors
+    "MLPPredictor",
+    "LookupTableSurrogate",
+    "PREDICTORS",
+    "get_predictor",
+    "list_predictors",
+    # metrics
+    "paper_accuracy",
+    "binwise_accuracy",
+    "mape",
+    "rmse",
+    "spearman",
+    # data
+    "LatencyDataset",
+    "LatencySample",
+    "FORMAT_VERSION",
+]

@@ -1,0 +1,32 @@
+"""Architecture spaces (Table I), configurations, and samplers."""
+
+from .config import ArchConfig, BlockConfig
+from .sampling import (
+    BalancedSampler,
+    RandomSampler,
+    assign_depth_bin,
+    depth_bins,
+)
+from .spaces import (
+    SPACE_NAMES,
+    SpaceSpec,
+    densenet_space,
+    mobilenetv3_space,
+    resnet_space,
+    space_by_name,
+)
+
+__all__ = [
+    "ArchConfig",
+    "BlockConfig",
+    "SpaceSpec",
+    "resnet_space",
+    "mobilenetv3_space",
+    "densenet_space",
+    "space_by_name",
+    "SPACE_NAMES",
+    "RandomSampler",
+    "BalancedSampler",
+    "depth_bins",
+    "assign_depth_bin",
+]

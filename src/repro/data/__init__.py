@@ -1,0 +1,5 @@
+"""Latency dataset container and JSON (de)serialisation."""
+
+from .dataset import FORMAT_VERSION, LatencyDataset, LatencySample
+
+__all__ = ["LatencyDataset", "LatencySample", "FORMAT_VERSION"]

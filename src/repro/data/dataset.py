@@ -1,0 +1,148 @@
+"""Latency datasets: measured samples with JSON persistence.
+
+The serialised form is the ``format_version: 1`` schema used by the cached
+datasets under ``benchmarks/_cache/``::
+
+    {"format_version": 1,
+     "samples": [{"config": {...}, "latency_s": 0.0241,
+                  "device": "rtx3080maxq",
+                  "true_latency_s": 0.0240, "is_reference": false}, ...]}
+
+``true_latency_s`` (the simulator's noise-free ground truth, unavailable on
+real hardware) and ``is_reference`` (quality-control reference models) are
+optional per sample but always written, so round trips are lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..archspace.spaces import SpaceSpec
+from ..encodings import Encoding, get_encoding
+from ..utils import ensure_rng
+
+__all__ = ["LatencySample", "LatencyDataset", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One measured architecture."""
+
+    config: ArchConfig
+    latency_s: float
+    device: str
+    true_latency_s: Optional[float] = None
+    is_reference: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "latency_s": self.latency_s,
+            "device": self.device,
+            "true_latency_s": self.true_latency_s,
+            "is_reference": self.is_reference,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LatencySample":
+        true_latency = d.get("true_latency_s")
+        return cls(
+            config=ArchConfig.from_dict(d["config"]),
+            latency_s=float(d["latency_s"]),
+            device=str(d["device"]),
+            true_latency_s=None if true_latency is None else float(true_latency),
+            is_reference=bool(d.get("is_reference", False)),
+        )
+
+
+class LatencyDataset:
+    """An ordered collection of `LatencySample` with array/encoding views."""
+
+    def __init__(self, samples: Sequence[LatencySample] = ()):
+        self.samples: List[LatencySample] = list(samples)
+
+    # ---------------------------- container --------------------------- #
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[LatencySample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return LatencyDataset(self.samples[index])
+        return self.samples[index]
+
+    def append(self, sample: LatencySample) -> None:
+        self.samples.append(sample)
+
+    def extend(self, samples: Sequence[LatencySample]) -> None:
+        self.samples.extend(samples)
+
+    # ----------------------------- views ------------------------------ #
+
+    @property
+    def configs(self) -> List[ArchConfig]:
+        return [s.config for s in self.samples]
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([s.latency_s for s in self.samples])
+
+    @property
+    def total_depths(self) -> np.ndarray:
+        return np.array([s.config.total_blocks for s in self.samples])
+
+    def encode(self, encoding: Union[str, Encoding], spec: SpaceSpec) -> np.ndarray:
+        """Feature matrix of all configs under the given encoding."""
+        if isinstance(encoding, str):
+            encoding = get_encoding(encoding)
+        return encoding.encode_batch(self.configs, spec)
+
+    def split(
+        self,
+        train_fraction: float,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Tuple["LatencyDataset", "LatencyDataset"]:
+        """Shuffled train/test split (seeded, disjoint, exhaustive)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        order = ensure_rng(rng).permutation(len(self.samples))
+        n_train = int(round(train_fraction * len(self.samples)))
+        train = [self.samples[i] for i in order[:n_train]]
+        test = [self.samples[i] for i in order[n_train:]]
+        return LatencyDataset(train), LatencyDataset(test)
+
+    # -------------------------- persistence --------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "samples": [s.to_dict() for s in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LatencyDataset":
+        version = d.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format_version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return cls([LatencySample.from_dict(s) for s in d["samples"]])
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LatencyDataset":
+        return cls.from_dict(json.loads(Path(path).read_text()))

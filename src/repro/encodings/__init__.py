@@ -1,0 +1,50 @@
+"""Encoding registry: look up encodings by name, HAT/OFA-style."""
+
+from typing import Dict, Tuple, Type
+
+from .encoders import (
+    Encoding,
+    FCCEncoding,
+    FCEncoding,
+    FeatureEncoding,
+    OneHotEncoding,
+    StatisticalEncoding,
+)
+
+__all__ = [
+    "Encoding",
+    "OneHotEncoding",
+    "FeatureEncoding",
+    "StatisticalEncoding",
+    "FCEncoding",
+    "FCCEncoding",
+    "ENCODINGS",
+    "get_encoding",
+    "list_encodings",
+]
+
+ENCODINGS: Dict[str, Type[Encoding]] = {
+    cls.name: cls
+    for cls in (
+        OneHotEncoding,
+        FeatureEncoding,
+        StatisticalEncoding,
+        FCEncoding,
+        FCCEncoding,
+    )
+}
+
+
+def get_encoding(name: str) -> Encoding:
+    """Instantiate an encoding by registry name."""
+    try:
+        return ENCODINGS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown encoding {name!r}; available: {', '.join(ENCODINGS)}"
+        ) from None
+
+
+def list_encodings() -> Tuple[str, ...]:
+    """Names of all registered encodings."""
+    return tuple(ENCODINGS)

@@ -1,0 +1,186 @@
+"""Architecture encodings: the paper's FCC/FC plus the SoTA baselines.
+
+Every encoding maps an `ArchConfig` to a fixed-length float vector whose
+length depends only on the `SpaceSpec`:
+
+* **onehot** — per-unit depth one-hot plus a one-hot over the joint
+  (kernel, expand) choice for every block slot (zeros where absent).
+  Injective but very long.
+* **feature** — per-unit normalised depth plus normalised (kernel, expand)
+  numerics per block slot.
+* **statistical** — HAT-style summary: per unit ``[depth, mean_k, std_k,
+  mean_e, std_e]``.  Collapses the joint (kernel, expand) distribution to
+  marginal moments, so configurations with very different latencies can
+  collide.
+* **fc** (paper) — per-unit *marginal* counts of each kernel value and
+  each expand value.
+* **fcc** (paper) — per-unit counts of each *joint* (kernel, expand)
+  combination; keeps exactly the information a block-additive latency
+  function needs.
+
+Families without an expansion dimension (DenseNet) are handled by treating
+``expand_ratio=None`` as a single dummy choice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..archspace.spaces import SpaceSpec
+
+__all__ = [
+    "Encoding",
+    "OneHotEncoding",
+    "FeatureEncoding",
+    "StatisticalEncoding",
+    "FCEncoding",
+    "FCCEncoding",
+]
+
+
+def _expand_choices(spec: SpaceSpec) -> Tuple[Optional[float], ...]:
+    return spec.expand_choices if spec.expand_choices is not None else (None,)
+
+
+class Encoding:
+    """Base class: subclasses implement `length` and `encode`."""
+
+    name: str = "base"
+
+    def length(self, spec: SpaceSpec) -> int:
+        raise NotImplementedError
+
+    def encode(self, config: ArchConfig, spec: SpaceSpec) -> np.ndarray:
+        raise NotImplementedError
+
+    def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
+        """Stack per-config vectors into an ``(n, length)`` matrix."""
+        out = np.zeros((len(configs), self.length(spec)))
+        for i, config in enumerate(configs):
+            out[i] = self.encode(config, spec)
+        return out
+
+    def _check(self, config: ArchConfig, spec: SpaceSpec) -> None:
+        if not spec.contains(config):
+            raise ValueError(
+                f"config (family={config.family!r}) is not a member of the "
+                f"{spec.family!r} space"
+            )
+
+
+class OneHotEncoding(Encoding):
+    name = "onehot"
+
+    def length(self, spec: SpaceSpec) -> int:
+        n_joint = len(spec.kernel_choices) * len(_expand_choices(spec))
+        return spec.num_units * (len(spec.depth_choices) + spec.max_depth * n_joint)
+
+    def encode(self, config: ArchConfig, spec: SpaceSpec) -> np.ndarray:
+        self._check(config, spec)
+        expands = _expand_choices(spec)
+        n_joint = len(spec.kernel_choices) * len(expands)
+        unit_len = len(spec.depth_choices) + spec.max_depth * n_joint
+        vec = np.zeros(self.length(spec))
+        for u, blocks in enumerate(config.units):
+            base = u * unit_len
+            vec[base + spec.depth_choices.index(len(blocks))] = 1.0
+            for b, block in enumerate(blocks):
+                joint = spec.kernel_choices.index(block.kernel_size) * len(
+                    expands
+                ) + expands.index(block.expand_ratio)
+                vec[base + len(spec.depth_choices) + b * n_joint + joint] = 1.0
+        return vec
+
+
+class FeatureEncoding(Encoding):
+    name = "feature"
+
+    def length(self, spec: SpaceSpec) -> int:
+        return spec.num_units * (1 + 2 * spec.max_depth)
+
+    def encode(self, config: ArchConfig, spec: SpaceSpec) -> np.ndarray:
+        self._check(config, spec)
+        k_max = max(spec.kernel_choices)
+        e_max = max(spec.expand_choices) if spec.expand_choices else 1.0
+        unit_len = 1 + 2 * spec.max_depth
+        vec = np.zeros(self.length(spec))
+        for u, blocks in enumerate(config.units):
+            base = u * unit_len
+            vec[base] = len(blocks) / spec.max_depth
+            for b, block in enumerate(blocks):
+                vec[base + 1 + 2 * b] = block.kernel_size / k_max
+                if block.expand_ratio is not None:
+                    vec[base + 2 + 2 * b] = block.expand_ratio / e_max
+        return vec
+
+
+class StatisticalEncoding(Encoding):
+    name = "statistical"
+
+    def length(self, spec: SpaceSpec) -> int:
+        return spec.num_units * 5
+
+    def encode(self, config: ArchConfig, spec: SpaceSpec) -> np.ndarray:
+        self._check(config, spec)
+        vec = np.zeros(self.length(spec))
+        for u, blocks in enumerate(config.units):
+            kernels = np.array([b.kernel_size for b in blocks], dtype=float)
+            base = u * 5
+            vec[base] = len(blocks)
+            vec[base + 1] = kernels.mean()
+            vec[base + 2] = kernels.std()
+            if spec.expand_choices is not None:
+                expands = np.array([b.expand_ratio for b in blocks], dtype=float)
+                vec[base + 3] = expands.mean()
+                vec[base + 4] = expands.std()
+        return vec
+
+
+class FCEncoding(Encoding):
+    """Feature-Count: per-unit marginal counts per feature value."""
+
+    name = "fc"
+
+    def length(self, spec: SpaceSpec) -> int:
+        n_expand = len(spec.expand_choices) if spec.expand_choices else 0
+        return spec.num_units * (len(spec.kernel_choices) + n_expand)
+
+    def encode(self, config: ArchConfig, spec: SpaceSpec) -> np.ndarray:
+        self._check(config, spec)
+        n_kernel = len(spec.kernel_choices)
+        n_expand = len(spec.expand_choices) if spec.expand_choices else 0
+        unit_len = n_kernel + n_expand
+        vec = np.zeros(self.length(spec))
+        for u, blocks in enumerate(config.units):
+            base = u * unit_len
+            for block in blocks:
+                vec[base + spec.kernel_choices.index(block.kernel_size)] += 1.0
+                if n_expand:
+                    vec[base + n_kernel + spec.expand_choices.index(block.expand_ratio)] += 1.0
+        return vec
+
+
+class FCCEncoding(Encoding):
+    """Feature-Combination-Count: per-unit counts per joint (kernel, expand)."""
+
+    name = "fcc"
+
+    def length(self, spec: SpaceSpec) -> int:
+        return spec.num_units * len(spec.kernel_choices) * len(_expand_choices(spec))
+
+    def encode(self, config: ArchConfig, spec: SpaceSpec) -> np.ndarray:
+        self._check(config, spec)
+        expands = _expand_choices(spec)
+        n_joint = len(spec.kernel_choices) * len(expands)
+        vec = np.zeros(self.length(spec))
+        for u, blocks in enumerate(config.units):
+            base = u * n_joint
+            for block in blocks:
+                joint = spec.kernel_choices.index(block.kernel_size) * len(
+                    expands
+                ) + expands.index(block.expand_ratio)
+                vec[base + joint] += 1.0
+        return vec

@@ -1,0 +1,15 @@
+"""Simulated measurement devices: profiles, roofline engine, noise model."""
+
+from .profiles import DEVICE_NAMES, DEVICES, DeviceProfile, device_by_name
+from .roofline import compute_efficiency, layer_time
+from .simulator import SimulatedDevice
+
+__all__ = [
+    "DeviceProfile",
+    "DEVICES",
+    "DEVICE_NAMES",
+    "device_by_name",
+    "layer_time",
+    "compute_efficiency",
+    "SimulatedDevice",
+]

@@ -1,0 +1,139 @@
+"""Analytical device profiles for the paper's four measurement targets.
+
+Numbers are public spec-sheet figures (peak fp32 throughput, DRAM
+bandwidth, last-level cache, compute-unit counts) plus calibrated
+behavioural constants for the roofline engine and the measurement-noise
+model.  They parameterise a simulator, not a cycle-accurate model: what
+matters downstream is the *structure* of the latency function (see
+DESIGN.md §2), not absolute microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DeviceProfile", "DEVICES", "DEVICE_NAMES", "device_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of one simulated device."""
+
+    name: str
+    peak_flops: float  # fp32 FLOP/s
+    mem_bandwidth: float  # DRAM B/s
+    cache_bytes: float  # last-level cache (L2 on GPUs, L3 on CPUs)
+    num_compute_units: int  # SMs (GPU) or cores (CPU)
+    wave_quantum: int  # FLOPs per thread-block tile; 0 = no wave effects
+    launch_overhead_s: float  # per-kernel dispatch cost
+    launch_exponent: float  # sub-linear kernel-count scaling (stream pipelining)
+    cache_penalty: float  # max slowdown of memory-bound layers under cache pressure
+    # Measurement-noise model.
+    jitter_cv: float  # per-run multiplicative jitter (lognormal cv)
+    outlier_prob: float  # probability of a background-daemon spike per run
+    outlier_scale: float  # mean relative height of a spike
+    warmup_factor: float  # first-iteration slowdown (cold caches/clocks)
+    warmup_iters: int  # iterations over which the warm-up transient decays
+    session_sigma: float  # per-session thermal/clock lognormal sigma
+    throttle_prob: float  # probability a session is thermally throttled
+    throttle_factor: float  # slowdown of a throttled session
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.wave_quantum > 0
+
+
+DEVICES: Dict[str, DeviceProfile] = {
+    profile.name: profile
+    for profile in (
+        DeviceProfile(
+            name="rtx4090",
+            peak_flops=82.6e12,
+            mem_bandwidth=1008e9,
+            cache_bytes=72e6,
+            num_compute_units=128,
+            wave_quantum=2_000_000,
+            launch_overhead_s=3.0e-6,
+            launch_exponent=0.72,
+            cache_penalty=0.9,
+            jitter_cv=0.004,
+            outlier_prob=0.01,
+            outlier_scale=0.08,
+            warmup_factor=1.6,
+            warmup_iters=5,
+            session_sigma=0.008,
+            throttle_prob=0.02,
+            throttle_factor=1.10,
+        ),
+        DeviceProfile(
+            name="rtx3080maxq",
+            peak_flops=19.0e12,
+            mem_bandwidth=384e9,
+            cache_bytes=6e6,
+            num_compute_units=48,
+            wave_quantum=2_000_000,
+            launch_overhead_s=3.5e-6,
+            launch_exponent=0.74,
+            cache_penalty=1.2,
+            jitter_cv=0.008,
+            outlier_prob=0.015,
+            outlier_scale=0.10,
+            warmup_factor=1.7,
+            warmup_iters=6,
+            session_sigma=0.015,
+            throttle_prob=0.08,
+            throttle_factor=1.14,
+        ),
+        DeviceProfile(
+            name="threadripper5975wx",
+            peak_flops=3.6e12,
+            mem_bandwidth=166e9,
+            cache_bytes=128e6,
+            num_compute_units=32,
+            wave_quantum=0,
+            launch_overhead_s=2.0e-7,
+            launch_exponent=0.9,
+            cache_penalty=0.8,
+            jitter_cv=0.006,
+            outlier_prob=0.02,
+            outlier_scale=0.12,
+            warmup_factor=1.3,
+            warmup_iters=3,
+            session_sigma=0.010,
+            throttle_prob=0.02,
+            throttle_factor=1.06,
+        ),
+        DeviceProfile(
+            name="raspberrypi4",
+            peak_flops=24e9,
+            mem_bandwidth=3.2e9,
+            cache_bytes=1e6,
+            num_compute_units=4,
+            wave_quantum=0,
+            launch_overhead_s=4.0e-6,
+            launch_exponent=0.95,
+            cache_penalty=1.5,
+            jitter_cv=0.020,
+            outlier_prob=0.04,
+            outlier_scale=0.20,
+            warmup_factor=1.4,
+            warmup_iters=4,
+            session_sigma=0.025,
+            throttle_prob=0.10,
+            throttle_factor=1.20,
+        ),
+    )
+}
+
+DEVICE_NAMES: Tuple[str, ...] = tuple(DEVICES)
+
+
+def device_by_name(name: str) -> DeviceProfile:
+    """Look up a device profile by name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {', '.join(DEVICE_NAMES)}"
+        ) from None

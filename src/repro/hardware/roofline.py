@@ -1,0 +1,60 @@
+"""Per-layer roofline timing with efficiency curves and wave quantization."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..network.ir import Layer
+from .profiles import DeviceProfile
+
+__all__ = ["layer_time", "compute_efficiency"]
+
+# Peak-fraction ceilings per kernel kind: dense GEMM-like kernels come
+# closest to peak; depthwise and data-movement kernels are intrinsically
+# memory bound and never approach it.
+_KIND_EFFICIENCY = {
+    "conv": 0.65,
+    "linear": 0.55,
+    "dwconv": 0.30,
+    "pool": 0.10,
+    "eltwise": 0.10,
+    "concat": 0.10,
+}
+
+# A kernel needs roughly this many seconds of peak-rate work before its
+# launch/tiling ramp stops dominating; smaller kernels run below peak.
+_RAMP_SECONDS = 5e-7
+
+
+def compute_efficiency(layer: Layer, profile: DeviceProfile) -> float:
+    """Achievable fraction of peak FLOP/s for this layer on this device."""
+    base = _KIND_EFFICIENCY[layer.kind]
+    ramp_flops = profile.peak_flops * _RAMP_SECONDS
+    size_factor = layer.flops / (layer.flops + ramp_flops) if layer.flops > 0 else 1.0
+    return base * size_factor
+
+
+def layer_time(layer: Layer, profile: DeviceProfile) -> Tuple[float, bool]:
+    """Roofline time for one layer: ``(seconds, memory_bound)``.
+
+    Compute time uses the efficiency curve and, on GPUs, is quantized to
+    whole waves of thread blocks across the SMs — latency becomes a step
+    function of output size, which is what makes real GPU latency
+    non-smooth in architecture features.
+    """
+    eff = compute_efficiency(layer, profile)
+    t_compute = layer.flops / (profile.peak_flops * eff) if layer.flops > 0 else 0.0
+
+    if profile.wave_quantum > 0 and layer.kind in ("conv", "dwconv", "linear"):
+        # Tiling is work-based (libraries split channels/reductions to fill
+        # the device), so thread blocks scale with FLOPs, not output size.
+        blocks = max(1, math.ceil(layer.flops / profile.wave_quantum))
+        waves = math.ceil(blocks / profile.num_compute_units)
+        occupancy = blocks / (waves * profile.num_compute_units)
+        # The last partial wave leaves SMs idle; latency hiding recovers
+        # part of the loss — a square-root law between full and lone waves.
+        t_compute /= math.sqrt(max(occupancy, 1e-9))
+
+    t_memory = layer.traffic_bytes / profile.mem_bandwidth
+    return max(t_compute, t_memory), t_memory >= t_compute

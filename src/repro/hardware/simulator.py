@@ -1,0 +1,137 @@
+"""The simulated measurement device standing in for physical hardware.
+
+``true_latency`` is the deterministic analytical latency: per-layer
+roofline times, a cache-pressure multiplier on memory-bound layers driven
+by the *whole model's* working set, and a sub-linear kernel-launch term.
+The last two are global, non-additive contributions — precisely what makes
+purely additive lookup-table surrogates fail, as the paper reports.
+
+``measure`` wraps it in the measurement-noise model (per-session
+thermal/clock factor with occasional throttled sessions, warm-up
+transient, multiplicative jitter, sparse positive outliers);
+``measure_latency`` applies the paper's trimmed-mean protocol: discard the
+fastest and slowest 20% of runs, average the middle 60%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..network.analysis import working_set_bytes
+from ..network.builders import build_network
+from ..network.ir import Network
+from ..utils import ensure_rng
+from .profiles import DeviceProfile, device_by_name
+from .roofline import layer_time
+
+__all__ = ["SimulatedDevice"]
+
+
+class SimulatedDevice:
+    """Analytical latency model plus a seeded measurement-noise model."""
+
+    def __init__(
+        self,
+        profile: Union[DeviceProfile, str],
+        seed: "int | np.random.Generator | None" = None,
+    ):
+        if isinstance(profile, str):
+            profile = device_by_name(profile)
+        self.profile = profile
+        self.rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic analytical latency
+    # ------------------------------------------------------------------ #
+
+    def _as_network(self, target: Union[ArchConfig, Network]) -> Network:
+        return target if isinstance(target, Network) else build_network(target)
+
+    def _cache_pressure(self, net: Network) -> float:
+        """Slowdown multiplier for memory-bound layers (global term)."""
+        working_set = working_set_bytes(net)
+        if working_set <= self.profile.cache_bytes:
+            return 1.0
+        overflow = 1.0 - self.profile.cache_bytes / working_set
+        return 1.0 + self.profile.cache_penalty * overflow
+
+    def true_latency(self, target: Union[ArchConfig, Network]) -> float:
+        """Noise-free end-to-end latency in seconds."""
+        net = self._as_network(target)
+        pressure = self._cache_pressure(net)
+        total = 0.0
+        for layer in net.layers:
+            seconds, memory_bound = layer_time(layer, self.profile)
+            total += seconds * (pressure if memory_bound else 1.0)
+        launch = (
+            self.profile.launch_overhead_s
+            * len(net.layers) ** self.profile.launch_exponent
+        )
+        return total + launch
+
+    # ------------------------------------------------------------------ #
+    # Noisy measurement
+    # ------------------------------------------------------------------ #
+
+    def measure(
+        self,
+        target: Union[ArchConfig, Network],
+        runs: int = 150,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Raw latency trace of ``runs`` consecutive iterations (seconds)."""
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        rng = self.rng if rng is None else ensure_rng(rng)
+        p = self.profile
+        base = self.true_latency(target)
+
+        session = float(np.exp(rng.normal(0.0, p.session_sigma)))
+        if rng.random() < p.throttle_prob:
+            session *= p.throttle_factor
+
+        trace = base * session * np.exp(rng.normal(0.0, p.jitter_cv, size=runs))
+
+        # Warm-up transient: geometric decay toward steady state.
+        idx = np.arange(min(p.warmup_iters, runs))
+        trace[: idx.size] *= 1.0 + (p.warmup_factor - 1.0) * 0.5**idx
+
+        spikes = rng.random(runs) < p.outlier_prob
+        if spikes.any():
+            trace[spikes] *= 1.0 + rng.exponential(p.outlier_scale, size=int(spikes.sum()))
+        return trace
+
+    def measure_latency(
+        self,
+        target: Union[ArchConfig, Network],
+        runs: int = 150,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> float:
+        """Trimmed-mean latency: drop the fastest/slowest 20%, average the rest."""
+        trace = np.sort(self.measure(target, runs=runs, rng=rng))
+        cut = int(np.floor(0.2 * runs))
+        kept = trace[cut : runs - cut] if runs - 2 * cut >= 1 else trace
+        return float(kept.mean())
+
+    def measure_batch(
+        self,
+        targets: List[Union[ArchConfig, Network]],
+        runs: int = 150,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Measure many configs from one seeded stream.
+
+        Returns ``(measured, true)`` latency arrays; deterministic given the
+        rng state and the order of ``targets``.
+        """
+        rng = self.rng if rng is None else ensure_rng(rng)
+        measured = np.empty(len(targets))
+        true = np.empty(len(targets))
+        for i, target in enumerate(targets):
+            net = self._as_network(target)
+            true[i] = self.true_latency(net)
+            measured[i] = self.measure_latency(net, runs=runs, rng=rng)
+        return measured, true

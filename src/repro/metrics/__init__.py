@@ -1,0 +1,86 @@
+"""Evaluation metrics, headed by the paper's relative prediction accuracy.
+
+"Accuracy" throughout the paper is ``mean(max(0, 1 - |y_hat - y| / y))``,
+reported in percent; `binwise_accuracy` evaluates it per depth bin, the
+criterion the ESM loop's ``Acc_TH`` threshold is checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "paper_accuracy",
+    "binwise_accuracy",
+    "mape",
+    "rmse",
+    "spearman",
+]
+
+
+def _as_arrays(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=float).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def paper_accuracy(y_true, y_pred) -> float:
+    """Mean relative prediction accuracy in percent: ``mean(max(0, 1-|e|/y)) * 100``."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    rel_err = np.abs(y_pred - y_true) / np.abs(y_true)
+    return float(np.maximum(0.0, 1.0 - rel_err).mean() * 100.0)
+
+
+def binwise_accuracy(y_true, y_pred, groups: Sequence[Hashable]) -> Dict[Hashable, float]:
+    """Paper accuracy evaluated separately per group label (e.g. depth bin)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    groups = np.asarray(groups)
+    if groups.shape[0] != y_true.shape[0]:
+        raise ValueError("groups must have one label per sample")
+    return {
+        key: paper_accuracy(y_true[groups == key], y_pred[groups == key])
+        for key in np.unique(groups)
+    }
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean absolute percentage error (percent)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float((np.abs(y_pred - y_true) / np.abs(y_true)).mean() * 100.0)
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error, in the target's units."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.sqrt(((y_pred - y_true) ** 2).mean()))
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their positions)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average the ranks of tied values.
+    for value in np.unique(values):
+        mask = values == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman(y_true, y_pred) -> float:
+    """Spearman rank correlation (average-tie ranks, Pearson on ranks)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    r_true, r_pred = _rankdata(y_true), _rankdata(y_pred)
+    r_true = r_true - r_true.mean()
+    r_pred = r_pred - r_pred.mean()
+    denom = np.sqrt((r_true**2).sum() * (r_pred**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((r_true * r_pred).sum() / denom)

@@ -1,0 +1,24 @@
+"""Layer IR, per-family network builders, and cost analysis."""
+
+from .analysis import (
+    num_kernels,
+    total_flops,
+    total_params,
+    total_traffic_bytes,
+    working_set_bytes,
+)
+from .builders import BUILDER_FAMILIES, build_network
+from .ir import LAYER_KINDS, Layer, Network
+
+__all__ = [
+    "Layer",
+    "Network",
+    "LAYER_KINDS",
+    "build_network",
+    "BUILDER_FAMILIES",
+    "total_flops",
+    "total_params",
+    "total_traffic_bytes",
+    "working_set_bytes",
+    "num_kernels",
+]

@@ -1,0 +1,47 @@
+"""Whole-network cost analysis over the layer IR."""
+
+from __future__ import annotations
+
+from .ir import Network
+
+__all__ = [
+    "total_flops",
+    "total_params",
+    "total_traffic_bytes",
+    "working_set_bytes",
+    "num_kernels",
+]
+
+
+def total_flops(net: Network) -> float:
+    """End-to-end floating point operations for one inference."""
+    return sum(layer.flops for layer in net.layers)
+
+
+def total_params(net: Network) -> float:
+    """Total learnable parameters."""
+    return sum(layer.params for layer in net.layers)
+
+
+def total_traffic_bytes(net: Network) -> float:
+    """Total DRAM bytes moved for one inference (unfused execution)."""
+    return sum(layer.traffic_bytes for layer in net.layers)
+
+
+def working_set_bytes(net: Network) -> float:
+    """Resident bytes competing for cache during one inference.
+
+    Model weights are touched once per inference and stay hot across the
+    run loop, so the whole parameter footprint counts; activations
+    contribute their single largest producer/consumer pair.
+    """
+    weights = sum(layer.weight_bytes for layer in net.layers)
+    peak_activation = max(
+        (layer.input_bytes + layer.output_bytes for layer in net.layers), default=0.0
+    )
+    return weights + peak_activation
+
+
+def num_kernels(net: Network) -> int:
+    """Number of launched kernels (all IR layers launch exactly one)."""
+    return len(net.layers)

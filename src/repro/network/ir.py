@@ -1,0 +1,58 @@
+"""Layer-level intermediate representation of a concrete network.
+
+A `Network` is a flat, execution-ordered tuple of `Layer` records, each
+carrying the exact cost numbers the hardware simulator consumes: FLOPs,
+parameter count, and the bytes moved for inputs / outputs / weights.
+BatchNorm and activations are folded into their producing layer (standard
+inference-graph fusion); element-wise adds, concats and pools appear
+explicitly because they launch kernels and move memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Layer", "Network", "LAYER_KINDS"]
+
+#: Layer kinds understood by the roofline model.  "conv" covers dense
+#: convolutions, "dwconv" depthwise ones (memory bound), "linear" GEMMs,
+#: and "pool"/"eltwise"/"concat" are data-movement kernels.
+LAYER_KINDS = ("conv", "dwconv", "linear", "pool", "eltwise", "concat")
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One executed kernel with its exact cost accounting (fp32 bytes)."""
+
+    name: str
+    kind: str
+    flops: float
+    params: float
+    input_bytes: float
+    output_bytes: float
+    weight_bytes: float
+    out_elems: int  # output-tensor elements, used for GPU wave quantization
+
+    def __post_init__(self) -> None:
+        if self.kind not in LAYER_KINDS:
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+
+    @property
+    def traffic_bytes(self) -> float:
+        """Total DRAM traffic assuming no inter-layer fusion."""
+        return self.input_bytes + self.output_bytes + self.weight_bytes
+
+
+@dataclass(frozen=True)
+class Network:
+    """A lowered architecture: ordered layers plus its source family."""
+
+    family: str
+    layers: Tuple[Layer, ...]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)

@@ -1,0 +1,35 @@
+"""Latency predictors and their registry."""
+
+from typing import Callable, Dict, Tuple
+
+from .lut import LookupTableSurrogate
+from .mlp import MLPPredictor
+
+__all__ = [
+    "MLPPredictor",
+    "LookupTableSurrogate",
+    "PREDICTORS",
+    "get_predictor",
+    "list_predictors",
+]
+
+PREDICTORS: Dict[str, Callable] = {
+    "mlp": MLPPredictor,
+    "lut": LookupTableSurrogate,
+    "lut+bias": lambda **kw: LookupTableSurrogate(bias_correction=True, **kw),
+}
+
+
+def get_predictor(name: str, **kwargs):
+    """Instantiate a predictor by registry name."""
+    try:
+        return PREDICTORS[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; available: {', '.join(PREDICTORS)}"
+        ) from None
+
+
+def list_predictors() -> Tuple[str, ...]:
+    """Names of all registered predictors."""
+    return tuple(PREDICTORS)

@@ -1,0 +1,50 @@
+"""Additive lookup-table surrogate, with optional linear bias correction.
+
+The LUT models latency as a sum of per-(unit, kernel, expand) block costs:
+fit by least squares on count features (the FCC encoding is exactly the
+right design matrix — its counts sum to the blocks per unit).  A raw LUT
+has no intercept and no way to express the simulator's global terms
+(kernel-launch overhead, cache pressure), the failure mode the paper
+reports; the *bias-corrected* variant refits a linear map on top of the
+LUT prediction and the total block count, recovering much of that error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LookupTableSurrogate"]
+
+
+class LookupTableSurrogate:
+    """Least-squares additive table over count features (e.g. FCC vectors)."""
+
+    def __init__(self, bias_correction: bool = False):
+        self.bias_correction = bias_correction
+        self.table_: Optional[np.ndarray] = None
+        self.bias_coef_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LookupTableSurrogate":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        self.table_, *_ = np.linalg.lstsq(X, y, rcond=None)
+        if self.bias_correction:
+            raw = X @ self.table_
+            Z = np.stack([raw, X.sum(axis=1), np.ones(len(y))], axis=1)
+            self.bias_coef_, *_ = np.linalg.lstsq(Z, y, rcond=None)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.table_ is None:
+            raise RuntimeError("surrogate is not fitted")
+        X = np.asarray(X, dtype=float)
+        raw = X @ self.table_
+        if not self.bias_correction:
+            return raw
+        Z = np.stack([raw, X.sum(axis=1), np.ones(X.shape[0])], axis=1)
+        return Z @ self.bias_coef_
+
+    def predict_one(self, x: np.ndarray) -> float:
+        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])

@@ -1,0 +1,131 @@
+"""The paper's latency predictor: a 3-layer MLP (hidden 64) in pure numpy.
+
+Forward/backward and the Adam optimiser are implemented here because no
+torch/sklearn stack is available.  Hyperparameters default to the paper's:
+MSE loss, Adam with lr 0.01 and weight decay 1e-4.  Inputs are z-scored
+and targets scaled by their mean inside `fit`, so the same settings work
+across devices whose latencies differ by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["MLPPredictor"]
+
+
+class MLPPredictor:
+    """Seeded numpy MLP: input -> 64 -> 64 -> 1 with ReLU."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 64,
+        lr: float = 0.01,
+        weight_decay: float = 1e-4,
+        epochs: int = 300,
+        batch_size: int = 64,
+        seed: int = 0,
+    ):
+        self.hidden_dim = hidden_dim
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.loss_history_: List[float] = []
+        self._weights: Optional[List[np.ndarray]] = None
+        self._biases: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPPredictor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) with one target per row")
+        rng = np.random.default_rng(self.seed)
+
+        self._x_mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._x_std = np.where(std > 0, std, 1.0)
+        self._y_scale = float(abs(y).mean()) or 1.0
+
+        Xn = (X - self._x_mean) / self._x_std
+        t = y / self._y_scale
+
+        sizes = [X.shape[1], self.hidden_dim, self.hidden_dim, 1]
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+            for fan_in, fan_out in zip(sizes[:-1], sizes[1:])
+        ]
+        self._biases = [np.zeros(fan_out) for fan_out in sizes[1:]]
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = Xn.shape[0]
+        batch = min(self.batch_size, n)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, tb = Xn[idx], t[idx]
+
+                # Forward.
+                acts = [xb]
+                pre = []
+                h = xb
+                for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
+                    z = h @ w + b
+                    pre.append(z)
+                    h = np.maximum(z, 0.0) if layer < len(self._weights) - 1 else z
+                    acts.append(h)
+                pred = acts[-1][:, 0]
+                err = pred - tb
+                epoch_loss += float(err @ err)
+
+                # Backward.
+                grad = (2.0 * err / idx.size)[:, None]
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    g_w = acts[layer].T @ grad + self.weight_decay * self._weights[layer]
+                    g_b = grad.sum(axis=0)
+                    if layer > 0:
+                        grad = (grad @ self._weights[layer].T) * (pre[layer - 1] > 0)
+
+                    step_t = step + 1
+                    for g, m, v, param in (
+                        (g_w, m_w[layer], v_w[layer], self._weights[layer]),
+                        (g_b, m_b[layer], v_b[layer], self._biases[layer]),
+                    ):
+                        m *= beta1
+                        m += (1 - beta1) * g
+                        v *= beta2
+                        v += (1 - beta2) * g * g
+                        m_hat = m / (1 - beta1**step_t)
+                        v_hat = v / (1 - beta2**step_t)
+                        param -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+                step += 1
+            self.loss_history_.append(epoch_loss / n)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("predictor is not fitted")
+        h = (np.asarray(X, dtype=float) - self._x_mean) / self._x_std
+        for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
+            h = h @ w + b
+            if layer < len(self._weights) - 1:
+                h = np.maximum(h, 0.0)
+        return h[:, 0] * self._y_scale
+
+    def predict_one(self, x: np.ndarray) -> float:
+        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])

@@ -1,0 +1,20 @@
+"""Small shared helpers (deterministic RNG handling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``rng`` into a `numpy.random.Generator`.
+
+    Accepts an existing generator (returned as-is, so callers can share a
+    stream), an integer seed, or ``None`` (fresh nondeterministic stream).
+    Every stochastic component in the package funnels through this, which is
+    what makes "same seed => identical output" testable end to end.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,166 @@
+"""Architecture spaces: Table I cardinalities, samplers, depth bins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ArchConfig,
+    BalancedSampler,
+    BlockConfig,
+    RandomSampler,
+    SPACE_NAMES,
+    assign_depth_bin,
+    depth_bins,
+    space_by_name,
+)
+
+# Exact integer cardinality of the ResNet / MobileNetV3 spaces:
+# (sum_{d=1..7} 9^d)^4.
+_RESNET_CARDINALITY = sum(9**d for d in range(1, 8)) ** 4
+
+
+class TestCardinality:
+    """Table I: 8.3830e26 / 8.3830e26 / 1.0000e10, exactly."""
+
+    def test_resnet_exact(self, resnet_spec):
+        assert resnet_spec.cardinality() == _RESNET_CARDINALITY
+        assert f"{resnet_spec.cardinality():.4e}" == "8.3830e+26"
+
+    def test_mobilenetv3_exact(self, mobilenetv3_spec):
+        assert mobilenetv3_spec.cardinality() == _RESNET_CARDINALITY
+        assert f"{mobilenetv3_spec.cardinality():.4e}" == "8.3830e+26"
+
+    def test_densenet_exact(self, densenet_spec):
+        assert densenet_spec.cardinality() == 10**10
+        assert f"{densenet_spec.cardinality():.4e}" == "1.0000e+10"
+
+
+class TestSpaceSpec:
+    def test_registry_names(self):
+        assert set(SPACE_NAMES) == {"resnet", "mobilenetv3", "densenet"}
+        for name in SPACE_NAMES:
+            assert space_by_name(name).family == name
+
+    def test_unknown_space_raises(self):
+        with pytest.raises(KeyError):
+            space_by_name("vgg")
+
+    def test_make_config_and_contains(self, resnet_spec):
+        config = resnet_spec.make_config(
+            depths=[2, 2, 2, 2],
+            kernels=[[3, 5], [3, 3], [7, 3], [5, 5]],
+            expands=[[0.2, 0.25]] + [[0.25, 0.25]] * 3,
+        )
+        assert resnet_spec.contains(config)
+        assert config.depths == (2, 2, 2, 2)
+        assert config.total_blocks == 8
+
+    def test_make_config_scalar_broadcast(self, densenet_spec):
+        config = densenet_spec.make_config(depths=[3, 1, 2, 4, 1], kernels=[3, 5, 1, 9, 7])
+        assert densenet_spec.contains(config)
+        assert [b.kernel_size for b in config.units[0]] == [3, 3, 3]
+        assert all(b.expand_ratio is None for _, b in config.iter_blocks())
+
+    def test_make_config_rejects_invalid_kernel(self, resnet_spec):
+        with pytest.raises(ValueError):
+            resnet_spec.make_config(
+                depths=[1, 1, 1, 1], kernels=[4, 3, 3, 3], expands=[0.2] * 4
+            )
+
+    def test_contains_rejects_nonuniform_densenet_unit(self, densenet_spec):
+        mixed = ArchConfig(
+            family="densenet",
+            units=tuple(
+                [(BlockConfig(3), BlockConfig(5))] + [(BlockConfig(3),)] * 4
+            ),
+        )
+        assert not densenet_spec.contains(mixed)
+
+
+class TestRandomSampler:
+    @pytest.mark.parametrize("family", SPACE_NAMES)
+    def test_samples_are_members(self, family):
+        spec = space_by_name(family)
+        for config in RandomSampler(spec, rng=0).sample_batch(50):
+            assert spec.contains(config)
+
+    def test_seeded_determinism(self, resnet_spec):
+        a = RandomSampler(resnet_spec, rng=123).sample_batch(20)
+        b = RandomSampler(resnet_spec, rng=123).sample_batch(20)
+        assert a == b
+
+    def test_different_seeds_differ(self, resnet_spec):
+        a = RandomSampler(resnet_spec, rng=1).sample_batch(20)
+        b = RandomSampler(resnet_spec, rng=2).sample_batch(20)
+        assert a != b
+
+
+class TestBalancedSampler:
+    def test_samples_are_members_and_deterministic(self, resnet_spec):
+        a = BalancedSampler(resnet_spec, rng=7).sample_batch(30)
+        b = BalancedSampler(resnet_spec, rng=7).sample_batch(30)
+        assert a == b
+        assert all(resnet_spec.contains(c) for c in a)
+
+    def test_covers_all_bins(self, resnet_spec):
+        sampler = BalancedSampler(resnet_spec, rng=3, n_bins=6)
+        hits = {
+            assign_depth_bin(c.total_blocks, sampler.bins)
+            for c in sampler.sample_batch(120)
+        }
+        assert hits == set(range(6))
+
+    def test_sample_in_bin(self, densenet_spec):
+        sampler = BalancedSampler(densenet_spec, rng=1, n_bins=6)
+        for index, (lo, hi) in enumerate(sampler.bins):
+            config = sampler.sample_in_bin(index)
+            assert lo <= config.total_blocks <= hi
+
+    def test_corner_bins_reached_more_than_random(self, resnet_spec):
+        """Random sampling's CLT depth bias starves the corner bins."""
+        bins = depth_bins(resnet_spec, 6)
+        n = 240
+        random_configs = RandomSampler(resnet_spec, rng=0).sample_batch(n)
+        balanced_configs = BalancedSampler(resnet_spec, rng=0, n_bins=6).sample_batch(n)
+
+        def corner_count(configs):
+            ids = [assign_depth_bin(c.total_blocks, bins) for c in configs]
+            return sum(1 for i in ids if i in (0, 5))
+
+        assert corner_count(balanced_configs) > corner_count(random_configs)
+
+
+class TestDepthBins:
+    def test_partition_is_exact(self, resnet_spec):
+        bins = depth_bins(resnet_spec, 6)
+        assert bins[0][0] == resnet_spec.min_total_depth
+        assert bins[-1][1] == resnet_spec.max_total_depth
+        for (_, hi), (lo, _) in zip(bins, bins[1:]):
+            assert lo == hi + 1
+
+    def test_every_total_depth_is_binned(self, densenet_spec):
+        bins = depth_bins(densenet_spec, 8)
+        for depth in range(densenet_spec.min_total_depth, densenet_spec.max_total_depth + 1):
+            assert 0 <= assign_depth_bin(depth, bins) < 8
+
+    def test_invalid_bin_counts_raise(self, resnet_spec):
+        with pytest.raises(ValueError):
+            depth_bins(resnet_spec, 0)
+        with pytest.raises(ValueError):
+            depth_bins(resnet_spec, 10**6)
+
+
+class TestConfigRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_dict_round_trip(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        config = RandomSampler(spec, rng=seed).sample()
+        assert ArchConfig.from_dict(config.to_dict()) == config
+
+    def test_configs_are_hashable(self, resnet_spec):
+        sampler = RandomSampler(resnet_spec, rng=0)
+        assert len({sampler.sample() for _ in range(30)}) > 1

@@ -1,0 +1,137 @@
+"""Encodings: registry, vector lengths, and the FCC/FC count invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    RandomSampler,
+    SPACE_NAMES,
+    get_encoding,
+    list_encodings,
+    space_by_name,
+)
+
+ALL_ENCODINGS = ("onehot", "feature", "statistical", "fc", "fcc")
+
+
+def test_registry_lists_all_five():
+    assert set(list_encodings()) == set(ALL_ENCODINGS)
+
+
+def test_unknown_encoding_raises():
+    with pytest.raises(KeyError):
+        get_encoding("gcn")
+
+
+@pytest.mark.parametrize("family", SPACE_NAMES)
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+def test_vector_length_matches_spec(family, name):
+    spec = space_by_name(family)
+    encoding = get_encoding(name)
+    for config in RandomSampler(spec, rng=0).sample_batch(10):
+        assert encoding.encode(config, spec).shape == (encoding.length(spec),)
+
+
+def test_expected_lengths_resnet(resnet_spec):
+    # U=4, D=7 depth choices, Dmax=7, K=3, E=3.
+    assert get_encoding("onehot").length(resnet_spec) == 4 * (7 + 7 * 9)
+    assert get_encoding("feature").length(resnet_spec) == 4 * (1 + 2 * 7)
+    assert get_encoding("statistical").length(resnet_spec) == 4 * 5
+    assert get_encoding("fc").length(resnet_spec) == 4 * (3 + 3)
+    assert get_encoding("fcc").length(resnet_spec) == 4 * 9
+
+
+def test_expected_lengths_densenet(densenet_spec):
+    # U=5, K=5, no expansion dimension.
+    assert get_encoding("fc").length(densenet_spec) == 5 * 5
+    assert get_encoding("fcc").length(densenet_spec) == 5 * 5
+    assert get_encoding("statistical").length(densenet_spec) == 5 * 5
+
+
+@pytest.mark.parametrize("family", SPACE_NAMES)
+def test_fcc_counts_sum_to_unit_depths(family):
+    spec = space_by_name(family)
+    encoding = get_encoding("fcc")
+    per_unit = encoding.length(spec) // spec.num_units
+    for config in RandomSampler(spec, rng=1).sample_batch(20):
+        vec = encoding.encode(config, spec).reshape(spec.num_units, per_unit)
+        assert tuple(int(s) for s in vec.sum(axis=1)) == config.depths
+
+
+@pytest.mark.parametrize("family", SPACE_NAMES)
+def test_fc_counts_sum_to_unit_depths_per_feature(family):
+    spec = space_by_name(family)
+    encoding = get_encoding("fc")
+    n_kernel = len(spec.kernel_choices)
+    per_unit = encoding.length(spec) // spec.num_units
+    for config in RandomSampler(spec, rng=2).sample_batch(20):
+        vec = encoding.encode(config, spec).reshape(spec.num_units, per_unit)
+        kernel_sums = vec[:, :n_kernel].sum(axis=1)
+        assert tuple(int(s) for s in kernel_sums) == config.depths
+        if spec.expand_choices is not None:
+            expand_sums = vec[:, n_kernel:].sum(axis=1)
+            assert tuple(int(s) for s in expand_sums) == config.depths
+
+
+def test_fcc_determines_fc(resnet_spec):
+    """FC is the marginalisation of FCC: summing joint counts over one axis
+    must reproduce the marginal counts exactly."""
+    spec = resnet_spec
+    fcc, fc = get_encoding("fcc"), get_encoding("fc")
+    n_k, n_e = len(spec.kernel_choices), len(spec.expand_choices)
+    for config in RandomSampler(spec, rng=3).sample_batch(20):
+        joint = fcc.encode(config, spec).reshape(spec.num_units, n_k, n_e)
+        marginal = fc.encode(config, spec).reshape(spec.num_units, n_k + n_e)
+        np.testing.assert_array_equal(joint.sum(axis=2), marginal[:, :n_k])
+        np.testing.assert_array_equal(joint.sum(axis=1), marginal[:, n_k:])
+
+
+def test_onehot_is_injective(resnet_spec):
+    encoding = get_encoding("onehot")
+    configs = RandomSampler(resnet_spec, rng=4).sample_batch(200)
+    distinct = set(configs)
+    vectors = {tuple(encoding.encode(c, resnet_spec)) for c in distinct}
+    assert len(vectors) == len(distinct)
+
+
+def test_statistical_collides_joint_permutations(resnet_spec):
+    """Re-pairing kernels and expands within a unit preserves the marginal
+    summary — the information loss the paper's FCC encoding avoids."""
+    spec = resnet_spec
+    a = spec.make_config([2] * 4, [[3, 7]] * 4, [[0.2, 0.35]] * 4)
+    b = spec.make_config([2] * 4, [[3, 7]] * 4, [[0.35, 0.2]] * 4)
+    stat = get_encoding("statistical")
+    np.testing.assert_allclose(stat.encode(a, spec), stat.encode(b, spec))
+    fcc = get_encoding("fcc")
+    assert not np.array_equal(fcc.encode(a, spec), fcc.encode(b, spec))
+
+
+def test_encode_batch_stacks_rows(resnet_spec):
+    encoding = get_encoding("fcc")
+    configs = RandomSampler(resnet_spec, rng=5).sample_batch(7)
+    X = encoding.encode_batch(configs, resnet_spec)
+    assert X.shape == (7, encoding.length(resnet_spec))
+    np.testing.assert_array_equal(X[3], encoding.encode(configs[3], resnet_spec))
+
+
+def test_encoding_rejects_foreign_config(resnet_spec, densenet_spec):
+    config = RandomSampler(densenet_spec, rng=0).sample()
+    with pytest.raises(ValueError):
+        get_encoding("fcc").encode(config, resnet_spec)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_property_count_invariants(data):
+    """Hypothesis: for any sampled config of any family, FCC/FC counts sum
+    to the blocks per unit."""
+    spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+    seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+    config = RandomSampler(spec, rng=seed).sample()
+    fcc_vec = get_encoding("fcc").encode(config, spec)
+    per_unit = fcc_vec.size // spec.num_units
+    sums = fcc_vec.reshape(spec.num_units, per_unit).sum(axis=1)
+    assert tuple(int(s) for s in sums) == config.depths
+    assert int(fcc_vec.sum()) == config.total_blocks

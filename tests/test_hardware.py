@@ -1,0 +1,107 @@
+"""Simulated devices: profiles, determinism, noise model, trimmed means."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DEVICE_NAMES,
+    RandomSampler,
+    SimulatedDevice,
+    build_network,
+    device_by_name,
+    resnet_space,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_config():
+    return RandomSampler(resnet_space(), rng=9).sample()
+
+
+class TestProfiles:
+    def test_all_four_paper_devices_exist(self):
+        assert set(DEVICE_NAMES) == {
+            "rtx4090",
+            "rtx3080maxq",
+            "threadripper5975wx",
+            "raspberrypi4",
+        }
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            device_by_name("tpu")
+
+    def test_gpu_flag(self):
+        assert device_by_name("rtx4090").is_gpu
+        assert not device_by_name("raspberrypi4").is_gpu
+
+
+class TestTrueLatency:
+    def test_positive_and_deterministic(self, sample_config):
+        device = SimulatedDevice("rtx4090")
+        a = device.true_latency(sample_config)
+        b = device.true_latency(sample_config)
+        assert a > 0
+        assert a == b
+
+    def test_accepts_prebuilt_network(self, sample_config):
+        device = SimulatedDevice("rtx4090")
+        net = build_network(sample_config)
+        assert device.true_latency(net) == device.true_latency(sample_config)
+
+    def test_device_speed_ordering(self, sample_config):
+        latency = {
+            name: SimulatedDevice(name).true_latency(sample_config)
+            for name in DEVICE_NAMES
+        }
+        assert latency["rtx4090"] < latency["rtx3080maxq"]
+        assert latency["rtx3080maxq"] < latency["threadripper5975wx"]
+        assert latency["threadripper5975wx"] < latency["raspberrypi4"]
+
+
+class TestMeasurement:
+    def test_trace_shape_and_positivity(self, sample_config):
+        trace = SimulatedDevice("rtx4090", seed=0).measure(sample_config, runs=40)
+        assert trace.shape == (40,)
+        assert (trace > 0).all()
+
+    def test_seeded_determinism(self, sample_config):
+        a = SimulatedDevice("rtx4090", seed=3).measure(sample_config, runs=30)
+        b = SimulatedDevice("rtx4090", seed=3).measure(sample_config, runs=30)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_sessions_differ(self, sample_config):
+        device = SimulatedDevice("rtx4090", seed=3)
+        a = device.measure(sample_config, runs=30)
+        b = device.measure(sample_config, runs=30)
+        assert not np.array_equal(a, b)
+
+    def test_warmup_transient(self, sample_config):
+        trace = SimulatedDevice("rtx4090", seed=1).measure(sample_config, runs=100)
+        steady = trace[10:].mean()
+        assert trace[0] > 1.3 * steady
+
+    def test_trimmed_mean_close_to_truth(self, sample_config):
+        device = SimulatedDevice("rtx4090", seed=2)
+        true = device.true_latency(sample_config)
+        measured = device.measure_latency(sample_config, runs=150)
+        assert abs(measured / true - 1.0) < 0.05
+
+    def test_trimmed_mean_within_trace_range(self, sample_config):
+        device = SimulatedDevice("raspberrypi4", seed=4)
+        trace = SimulatedDevice("raspberrypi4", seed=4).measure(sample_config, runs=50)
+        value = device.measure_latency(sample_config, runs=50)
+        assert trace.min() <= value <= trace.max()
+
+    def test_measure_batch_deterministic(self, sample_config):
+        device = SimulatedDevice("rtx4090")
+        configs = RandomSampler(resnet_space(), rng=2).sample_batch(5)
+        m1, t1 = device.measure_batch(configs, runs=10, rng=np.random.default_rng(0))
+        m2, t2 = device.measure_batch(configs, runs=10, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(m1, m2)
+        np.testing.assert_array_equal(t1, t2)
+        assert (np.abs(m1 / t1 - 1.0) < 0.25).all()
+
+    def test_invalid_runs_raises(self, sample_config):
+        with pytest.raises(ValueError):
+            SimulatedDevice("rtx4090").measure(sample_config, runs=0)

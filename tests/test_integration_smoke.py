@@ -1,0 +1,61 @@
+"""End-to-end smoke test: the paper's headline encoding ordering.
+
+Measures a small seeded ResNet dataset on the simulated RTX 4090, trains
+the paper's MLP on the FCC and statistical encodings, and asserts the
+qualitative result Figs. 8-9 hinge on: FCC (joint kernel-expand counts)
+beats the HAT-style statistical summary, and both are usable (> 80%).
+Everything is seeded, so this is a deterministic regression gate for the
+whole pipeline: spaces -> simulator -> encodings -> predictor -> metrics.
+"""
+
+import numpy as np
+
+from repro import (
+    LatencyDataset,
+    LatencySample,
+    MLPPredictor,
+    RandomSampler,
+    SimulatedDevice,
+    paper_accuracy,
+    resnet_space,
+    spearman,
+)
+
+N_CONFIGS = 300
+TRAIN_FRACTION = 0.8
+
+
+def _measure_dataset():
+    spec = resnet_space()
+    device = SimulatedDevice("rtx4090", seed=7)
+    configs = RandomSampler(spec, rng=7).sample_batch(N_CONFIGS)
+    measured, true = device.measure_batch(
+        configs, runs=20, rng=np.random.default_rng(123)
+    )
+    dataset = LatencyDataset(
+        [
+            LatencySample(c, float(m), "rtx4090", float(t))
+            for c, m, t in zip(configs, measured, true)
+        ]
+    )
+    return spec, dataset
+
+
+def test_fcc_beats_statistical_encoding_end_to_end():
+    spec, dataset = _measure_dataset()
+    train, test = dataset.split(TRAIN_FRACTION, rng=0)
+
+    accuracy = {}
+    for encoding in ("fcc", "statistical"):
+        X_train = train.encode(encoding, spec)
+        X_test = test.encode(encoding, spec)
+        mlp = MLPPredictor(epochs=1500, seed=0).fit(X_train, train.latencies)
+        pred = mlp.predict(X_test)
+        accuracy[encoding] = paper_accuracy(test.latencies, pred)
+        # Any usable surrogate must also rank architectures correctly.
+        assert spearman(test.latencies, pred) > 0.9
+
+    # The paper's headline ordering, as a regression gate.
+    assert accuracy["fcc"] > accuracy["statistical"]
+    assert accuracy["fcc"] > 80.0
+    assert accuracy["statistical"] > 80.0

@@ -1,0 +1,71 @@
+"""Metrics: the paper's relative accuracy, bin-wise variant, and rank corr."""
+
+import numpy as np
+import pytest
+
+from repro import binwise_accuracy, mape, paper_accuracy, rmse, spearman
+
+
+class TestPaperAccuracy:
+    def test_perfect_prediction_is_100(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert paper_accuracy(y, y) == pytest.approx(100.0)
+
+    def test_known_value(self):
+        # Relative errors 10% and 30% -> accuracies 90 and 70 -> mean 80.
+        assert paper_accuracy([1.0, 1.0], [0.9, 1.3]) == pytest.approx(80.0)
+
+    def test_clamps_at_zero_for_terrible_predictions(self):
+        # A 300% error contributes 0, not a negative accuracy.
+        assert paper_accuracy([1.0, 1.0], [4.0, 1.0]) == pytest.approx(50.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paper_accuracy([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            paper_accuracy([], [])
+
+
+class TestBinwiseAccuracy:
+    def test_groups_are_scored_separately(self):
+        y_true = np.array([1.0, 1.0, 2.0, 2.0])
+        y_pred = np.array([1.0, 1.0, 1.0, 1.0])  # bin b is 50% off
+        result = binwise_accuracy(y_true, y_pred, ["a", "a", "b", "b"])
+        assert result["a"] == pytest.approx(100.0)
+        assert result["b"] == pytest.approx(50.0)
+
+    def test_group_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binwise_accuracy([1.0, 2.0], [1.0, 2.0], ["a"])
+
+
+class TestErrorMetrics:
+    def test_mape_known_value(self):
+        assert mape([1.0, 2.0], [1.1, 1.8]) == pytest.approx(10.0)
+
+    def test_rmse_known_value(self):
+        assert rmse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_zero_for_perfect(self):
+        y = [3.0, 4.0]
+        assert mape(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+
+
+class TestSpearman:
+    def test_perfect_monotone_is_one(self):
+        y = np.array([1.0, 2.0, 5.0, 9.0])
+        assert spearman(y, y**2) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        y = np.array([1.0, 2.0, 5.0, 9.0])
+        assert spearman(y, -y) == pytest.approx(-1.0)
+
+    def test_handles_ties(self):
+        rho = spearman([1.0, 1.0, 2.0, 3.0], [1.0, 1.5, 2.0, 3.0])
+        assert 0.9 < rho <= 1.0
+
+    def test_constant_input_is_zero(self):
+        assert spearman([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0

@@ -1,0 +1,104 @@
+"""Predictors: MLP convergence/determinism, LUT exactness and bias correction."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LookupTableSurrogate,
+    MLPPredictor,
+    get_predictor,
+    list_predictors,
+    paper_accuracy,
+)
+
+
+def _linear_toy(n=256, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    return X, X @ w + 3.0
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(list_predictors()) == {"mlp", "lut", "lut+bias"}
+
+    def test_instances(self):
+        assert isinstance(get_predictor("mlp"), MLPPredictor)
+        assert not get_predictor("lut").bias_correction
+        assert get_predictor("lut+bias").bias_correction
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_predictor("xgboost")
+
+
+class TestMLP:
+    def test_loss_strictly_decreases_on_linear_toy(self):
+        X, y = _linear_toy()
+        mlp = MLPPredictor(epochs=80, batch_size=256, lr=0.001, seed=0).fit(X, y)
+        losses = np.array(mlp.loss_history_)
+        assert losses.shape == (80,)
+        assert (np.diff(losses) < 0).all()
+        assert losses[-1] < 0.05 * losses[0]
+
+    def test_fits_linear_function_accurately(self):
+        X, y = _linear_toy()
+        mlp = MLPPredictor(epochs=600, seed=0).fit(X[:200], y[:200])
+        pred = mlp.predict(X[200:])
+        assert np.abs(pred - y[200:]).mean() < 0.2 * np.abs(y).std()
+
+    def test_seeded_determinism(self):
+        X, y = _linear_toy()
+        a = MLPPredictor(epochs=30, seed=5).fit(X, y).predict(X)
+        b = MLPPredictor(epochs=30, seed=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        X, y = _linear_toy()
+        a = MLPPredictor(epochs=30, seed=1).fit(X, y).predict(X)
+        b = MLPPredictor(epochs=30, seed=2).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPPredictor().predict(np.zeros((1, 3)))
+
+    def test_predict_one(self):
+        X, y = _linear_toy()
+        mlp = MLPPredictor(epochs=50, seed=0).fit(X, y)
+        assert mlp.predict_one(X[0]) == pytest.approx(mlp.predict(X[:1])[0])
+
+
+class TestLookupTable:
+    def test_recovers_exactly_additive_costs(self):
+        """On truly additive data the least-squares LUT is exact."""
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 5, size=(120, 12)).astype(float)
+        costs = rng.uniform(0.5, 2.0, size=12)
+        y = X @ costs
+        lut = LookupTableSurrogate().fit(X, y)
+        np.testing.assert_allclose(lut.predict(X), y, rtol=1e-8)
+        np.testing.assert_allclose(lut.table_, costs, rtol=1e-8)
+
+    def test_bias_correction_beats_raw_lut_on_held_out_data(
+        self, resnet_spec, small_resnet_dataset
+    ):
+        """The simulator's global terms (launch overhead, cache pressure)
+        break pure additivity; the linear bias correction must recover
+        accuracy on a held-out split."""
+        train, test = small_resnet_dataset.split(0.75, rng=1)
+        X_train = train.encode("fcc", resnet_spec)
+        X_test = test.encode("fcc", resnet_spec)
+        raw = LookupTableSurrogate().fit(X_train, train.latencies)
+        corrected = LookupTableSurrogate(bias_correction=True).fit(
+            X_train, train.latencies
+        )
+        acc_raw = paper_accuracy(test.latencies, raw.predict(X_test))
+        acc_corrected = paper_accuracy(test.latencies, corrected.predict(X_test))
+        assert acc_corrected >= acc_raw
+        assert acc_corrected > 90.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LookupTableSurrogate().predict(np.zeros((1, 3)))

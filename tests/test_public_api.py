@@ -1,0 +1,42 @@
+"""The top-level `repro` namespace exposes the full pipeline surface."""
+
+import repro
+
+
+def test_version():
+    assert isinstance(repro.__version__, str)
+
+
+def test_spaces_exposed():
+    for name in ("resnet_space", "mobilenetv3_space", "densenet_space", "space_by_name"):
+        assert callable(getattr(repro, name))
+
+
+def test_simulator_exposed():
+    device = repro.SimulatedDevice(repro.device_by_name("rtx4090"), seed=0)
+    assert device.profile.name == "rtx4090"
+
+
+def test_all_five_encodings_exposed():
+    assert set(repro.list_encodings()) == {"onehot", "feature", "statistical", "fc", "fcc"}
+    for name in repro.list_encodings():
+        assert isinstance(repro.get_encoding(name), repro.Encoding)
+
+
+def test_predictors_exposed():
+    assert isinstance(repro.get_predictor("mlp"), repro.MLPPredictor)
+    assert isinstance(repro.get_predictor("lut"), repro.LookupTableSurrogate)
+    assert isinstance(repro.get_predictor("lut+bias"), repro.LookupTableSurrogate)
+
+
+def test_metrics_exposed():
+    assert repro.paper_accuracy([1.0], [1.0]) == 100.0
+    assert repro.rmse([1.0], [1.0]) == 0.0
+    assert callable(repro.binwise_accuracy)
+    assert callable(repro.mape)
+    assert callable(repro.spearman)
+
+
+def test_everything_in_all_is_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

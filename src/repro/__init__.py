@@ -1,8 +1,9 @@
 """ESM reproduction: surrogate latency models for hardware-aware NAS.
 
 Top-level re-exports of the public API: architecture spaces and samplers,
-the layer IR and builders, the simulated devices, all encodings and
-predictors, the paper's metrics, and the latency dataset layer.
+the layer IR and builders, the simulated devices (plus fault injection),
+all encodings and predictors, the paper's metrics, the latency dataset
+layer, and the fault-tolerant measurement-campaign subsystem.
 """
 
 from .archspace import (
@@ -19,7 +20,7 @@ from .archspace import (
     resnet_space,
     space_by_name,
 )
-from .data import FORMAT_VERSION, LatencyDataset, LatencySample
+from .data import FORMAT_VERSION, DatasetError, LatencyDataset, LatencySample
 from .encodings import (
     ENCODINGS,
     Encoding,
@@ -35,6 +36,10 @@ from .hardware import (
     DEVICE_NAMES,
     DEVICES,
     DeviceProfile,
+    FaultPlan,
+    FaultyDevice,
+    MeasurementError,
+    MeasurementTimeout,
     SimulatedDevice,
     device_by_name,
 )
@@ -56,6 +61,15 @@ from .predictors import (
     MLPPredictor,
     get_predictor,
     list_predictors,
+)
+from .profiling import (
+    CampaignError,
+    CampaignReport,
+    CampaignResult,
+    CampaignRunner,
+    MeasurementProtocol,
+    QCResult,
+    ReferenceSet,
 )
 
 __version__ = "0.1.0"
@@ -91,6 +105,18 @@ __all__ = [
     "DEVICE_NAMES",
     "device_by_name",
     "SimulatedDevice",
+    "MeasurementError",
+    "MeasurementTimeout",
+    "FaultPlan",
+    "FaultyDevice",
+    # profiling
+    "MeasurementProtocol",
+    "ReferenceSet",
+    "QCResult",
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignReport",
+    "CampaignError",
     # encodings
     "Encoding",
     "OneHotEncoding",
@@ -116,5 +142,6 @@ __all__ = [
     # data
     "LatencyDataset",
     "LatencySample",
+    "DatasetError",
     "FORMAT_VERSION",
 ]

@@ -1,5 +1,5 @@
 """Latency dataset container and JSON (de)serialisation."""
 
-from .dataset import FORMAT_VERSION, LatencyDataset, LatencySample
+from .dataset import FORMAT_VERSION, DatasetError, LatencyDataset, LatencySample
 
-__all__ = ["LatencyDataset", "LatencySample", "FORMAT_VERSION"]
+__all__ = ["LatencyDataset", "LatencySample", "DatasetError", "FORMAT_VERSION"]

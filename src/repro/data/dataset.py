@@ -11,11 +11,19 @@ datasets under ``benchmarks/_cache/``::
 ``true_latency_s`` (the simulator's noise-free ground truth, unavailable on
 real hardware) and ``is_reference`` (quality-control reference models) are
 optional per sample but always written, so round trips are lossless.
+``qc_passed`` records that a sample came from a batch whose reference-model
+QC gate failed even after retries; it defaults to true and is only written
+when false, so datasets that predate the QC layer round-trip byte-for-byte.
+
+Files are written atomically (`repro.utils.atomic_write_text`) and loads
+wrap every failure mode — missing file, truncated/invalid JSON, schema
+violations — in `DatasetError`, which names the file and the problem.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
@@ -25,11 +33,15 @@ import numpy as np
 from ..archspace.config import ArchConfig
 from ..archspace.spaces import SpaceSpec
 from ..encodings import Encoding, get_encoding
-from ..utils import ensure_rng
+from ..utils import atomic_write_text, ensure_rng
 
-__all__ = ["LatencySample", "LatencyDataset", "FORMAT_VERSION"]
+__all__ = ["LatencySample", "LatencyDataset", "DatasetError", "FORMAT_VERSION"]
 
 FORMAT_VERSION = 1
+
+
+class DatasetError(ValueError):
+    """A dataset file or payload is missing, unreadable, or malformed."""
 
 
 @dataclass(frozen=True)
@@ -41,25 +53,36 @@ class LatencySample:
     device: str
     true_latency_s: Optional[float] = None
     is_reference: bool = False
+    qc_passed: bool = True
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "config": self.config.to_dict(),
             "latency_s": self.latency_s,
             "device": self.device,
             "true_latency_s": self.true_latency_s,
             "is_reference": self.is_reference,
         }
+        # Written only when set, so pre-QC datasets round-trip unchanged.
+        if not self.qc_passed:
+            d["qc_passed"] = False
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "LatencySample":
+        latency = float(d["latency_s"])
+        if not (math.isfinite(latency) and latency > 0):
+            raise DatasetError(
+                f"latency_s must be a finite positive number, got {d['latency_s']!r}"
+            )
         true_latency = d.get("true_latency_s")
         return cls(
             config=ArchConfig.from_dict(d["config"]),
-            latency_s=float(d["latency_s"]),
+            latency_s=latency,
             device=str(d["device"]),
             true_latency_s=None if true_latency is None else float(true_latency),
             is_reference=bool(d.get("is_reference", False)),
+            qc_passed=bool(d.get("qc_passed", True)),
         )
 
 
@@ -141,8 +164,37 @@ class LatencyDataset:
         return cls([LatencySample.from_dict(s) for s in d["samples"]])
 
     def save(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        """Serialise to ``path`` atomically (temp file + `os.replace`)."""
+        atomic_write_text(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "LatencyDataset":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load from ``path``; every failure mode raises `DatasetError`."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise DatasetError(f"dataset file {path} does not exist") from None
+        except OSError as exc:
+            raise DatasetError(f"dataset file {path} is unreadable: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(
+                f"dataset file {path} is not valid JSON "
+                f"(truncated or corrupted write?): {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise DatasetError(
+                f"dataset file {path} holds {type(payload).__name__}, "
+                "expected a JSON object"
+            )
+        try:
+            return cls.from_dict(payload)
+        except DatasetError as exc:
+            raise DatasetError(f"dataset file {path}: {exc}") from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"dataset file {path} violates the format_version "
+                f"{FORMAT_VERSION} schema: {exc!r}"
+            ) from exc

@@ -1,0 +1,21 @@
+"""Exception types raised by the measurement layer.
+
+Real measurement campaigns fail in two qualitatively different ways: the
+device reports an error (driver hiccup, lost connection, corrupted trace)
+or it simply stops responding and the harness gives up after a deadline.
+Both are *transient* from the campaign's point of view — the supervisor in
+`repro.profiling` catches them and retries the measurement — but they are
+distinct types so callers can tell a fast failure from a burned timeout.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MeasurementError", "MeasurementTimeout"]
+
+
+class MeasurementError(RuntimeError):
+    """A latency measurement failed or produced an unusable trace."""
+
+
+class MeasurementTimeout(MeasurementError):
+    """A measurement hung and was abandoned after its deadline."""

@@ -9,13 +9,14 @@ purely additive lookup-table surrogates fail, as the paper reports.
 ``measure`` wraps it in the measurement-noise model (per-session
 thermal/clock factor with occasional throttled sessions, warm-up
 transient, multiplicative jitter, sparse positive outliers);
-``measure_latency`` applies the paper's trimmed-mean protocol: discard the
-fastest and slowest 20% of runs, average the middle 60%.
+``measure_latency`` applies a `MeasurementProtocol` — by default the
+paper's: discard the fastest and slowest 20% of runs, average the middle
+60%.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from ..archspace.config import ArchConfig
 from ..network.analysis import working_set_bytes
 from ..network.builders import build_network
 from ..network.ir import Network
+from ..profiling.protocol import MeasurementProtocol
 from ..utils import ensure_rng
 from .profiles import DeviceProfile, device_by_name
 from .roofline import layer_time
@@ -109,12 +111,16 @@ class SimulatedDevice:
         target: Union[ArchConfig, Network],
         runs: int = 150,
         rng: "int | np.random.Generator | None" = None,
+        protocol: Optional[MeasurementProtocol] = None,
     ) -> float:
-        """Trimmed-mean latency: drop the fastest/slowest 20%, average the rest."""
-        trace = np.sort(self.measure(target, runs=runs, rng=rng))
-        cut = int(np.floor(0.2 * runs))
-        kept = trace[cut : runs - cut] if runs - 2 * cut >= 1 else trace
-        return float(kept.mean())
+        """Protocol-collapsed latency (default: the paper's trim-20% mean).
+
+        ``protocol`` overrides the whole measurement recipe; when given, its
+        ``runs`` takes precedence over the ``runs`` argument.
+        """
+        if protocol is None:
+            protocol = MeasurementProtocol(runs=runs)
+        return protocol.measure(self, target, rng=rng)
 
     def measure_batch(
         self,

@@ -1,0 +1,374 @@
+"""Supervised, fault-tolerant measurement campaigns.
+
+`CampaignRunner` turns "call ``measure_latency`` in a loop" into the
+paper's dataset-generation protocol:
+
+* the sweep runs in batches, each batch bracketed by a measurement
+  *session* (``device.begin_session`` when the device has one);
+* every batch re-measures the enrolled reference models and is re-executed
+  with exponential backoff when their latency drifts past the threshold
+  (paper: 3%, Fig. 6) — up to a bounded retry budget, after which the
+  batch is kept but flagged ``qc_passed=False``, never silently dropped;
+* per-measurement transient faults (`MeasurementError`, including
+  timeouts and garbage traces) are retried in place;
+* each completed batch is written as an atomic shard plus a manifest
+  update, so a killed campaign resumes from the last completed batch and
+  re-measures nothing.
+
+Determinism is the load-bearing property: every stochastic draw of batch
+``b``, attempt ``a`` comes from ``default_rng([seed, b + 1, a])`` — a
+stream independent of campaign history — so an interrupted-and-resumed
+campaign produces byte-identical shards to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..data.dataset import LatencyDataset, LatencySample
+from ..hardware.errors import MeasurementError
+from .protocol import MeasurementProtocol
+from .reference import ReferenceSet
+from .report import AttemptRecord, BatchRecord, CampaignReport
+from .storage import MANIFEST_VERSION, CampaignStore
+
+__all__ = ["CampaignError", "CampaignResult", "CampaignRunner"]
+
+_ENROLL_SLOT = 0  # batch-rng slot reserved for baseline enrollment
+
+
+class CampaignError(RuntimeError):
+    """A campaign cannot proceed (bad resume state, exhausted retries)."""
+
+
+def _attempt_rng(seed: int, slot: int, attempt: int) -> np.random.Generator:
+    """The RNG stream for one (batch, attempt) — independent of history."""
+    return np.random.default_rng([seed, slot, attempt])
+
+
+@dataclass
+class CampaignResult:
+    """What a finished (or resumed-to-finished) campaign hands back."""
+
+    dataset: LatencyDataset  # every sample, references included
+    report: CampaignReport
+
+    @property
+    def measurements(self) -> LatencyDataset:
+        """The sweep's samples with QC references filtered out."""
+        return LatencyDataset([s for s in self.dataset if not s.is_reference])
+
+
+class CampaignRunner:
+    """Run a sweep of configs through the QC'd, checkpointed pipeline."""
+
+    def __init__(
+        self,
+        device,
+        configs: Sequence[ArchConfig],
+        campaign_dir,
+        references: ReferenceSet,
+        *,
+        protocol: Optional[MeasurementProtocol] = None,
+        batch_size: int = 25,
+        seed: int = 0,
+        drift_threshold: float = 0.03,
+        max_qc_retries: int = 2,
+        max_transient_retries: int = 3,
+        backoff_s: float = 0.25,
+        backoff_factor: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        device_name: Optional[str] = None,
+    ):
+        if not configs:
+            raise ValueError("a campaign needs at least one config")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_qc_retries < 0 or max_transient_retries < 0:
+            raise ValueError("retry budgets must be >= 0")
+        self.device = device
+        self.configs = list(configs)
+        self.store = CampaignStore(campaign_dir)
+        self.references = references
+        self.protocol = protocol or MeasurementProtocol()
+        self.batch_size = batch_size
+        self.seed = int(seed)
+        self.drift_threshold = float(drift_threshold)
+        self.max_qc_retries = int(max_qc_retries)
+        self.max_transient_retries = int(max_transient_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.sleep = sleep
+        if device_name is None:
+            device_name = getattr(getattr(device, "profile", None), "name", None)
+        if device_name is None:
+            raise ValueError(
+                "device has no .profile.name; pass device_name= explicitly"
+            )
+        self.device_name = device_name
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_batches(self) -> int:
+        return (len(self.configs) + self.batch_size - 1) // self.batch_size
+
+    def _batch_configs(self, index: int) -> List[ArchConfig]:
+        lo = index * self.batch_size
+        return self.configs[lo : lo + self.batch_size]
+
+    def fingerprint(self) -> str:
+        """Hash of everything that determines the campaign's shard bytes.
+
+        Stored in the manifest; a resume against a directory whose
+        fingerprint differs (different configs, seed, protocol, device,
+        batching, or references) is refused rather than silently mixed.
+        """
+        payload = {
+            "configs": [c.to_dict() for c in self.configs],
+            "references": [c.to_dict() for c in self.references.configs],
+            "protocol": self.protocol.to_dict(),
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "drift_threshold": self.drift_threshold,
+            "max_qc_retries": self.max_qc_retries,
+            "max_transient_retries": self.max_transient_retries,
+            "device": self.device_name,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        )
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Measurement primitives
+    # ------------------------------------------------------------------ #
+
+    def _measure_one(
+        self, config: ArchConfig, rng: np.random.Generator
+    ) -> "tuple[float, int]":
+        """One protocol latency with in-place transient retries.
+
+        Returns ``(latency_s, retries_used)``; raises `CampaignError` once
+        the transient budget is exhausted.
+        """
+        last_error: Optional[MeasurementError] = None
+        for attempt in range(self.max_transient_retries + 1):
+            try:
+                return self.protocol.measure(self.device, config, rng=rng), attempt
+            except MeasurementError as exc:
+                last_error = exc
+        raise CampaignError(
+            f"measurement failed {self.max_transient_retries + 1} times in a row: "
+            f"{last_error}"
+        ) from last_error
+
+    def _run_attempt(
+        self, batch_index: int, attempt: int
+    ) -> "tuple[List[LatencySample], List[float], AttemptRecord]":
+        """Execute one attempt of one batch: configs, then references."""
+        started = time.monotonic()
+        rng = _attempt_rng(self.seed, batch_index + 1, attempt)
+        if hasattr(self.device, "begin_session"):
+            self.device.begin_session(rng)
+        transient_retries = 0
+        samples: List[LatencySample] = []
+        for config in self._batch_configs(batch_index):
+            latency, retries = self._measure_one(config, rng)
+            transient_retries += retries
+            samples.append(self._sample(config, latency, is_reference=False))
+        ref_measured: List[float] = []
+        for config in self.references.configs:
+            latency, retries = self._measure_one(config, rng)
+            transient_retries += retries
+            ref_measured.append(latency)
+        qc = self.references.check(ref_measured, self.drift_threshold)
+        samples.extend(
+            self._sample(c, m, is_reference=True)
+            for c, m in zip(self.references.configs, ref_measured)
+        )
+        record = AttemptRecord(
+            attempt=attempt,
+            qc_passed=qc.passed,
+            drifts=list(qc.drifts),
+            max_drift=qc.max_drift,
+            transient_retries=transient_retries,
+            backoff_s=0.0,
+            wall_clock_s=time.monotonic() - started,
+        )
+        return samples, ref_measured, record
+
+    def _sample(
+        self, config: ArchConfig, latency: float, *, is_reference: bool
+    ) -> LatencySample:
+        true_latency = None
+        if hasattr(self.device, "true_latency"):
+            true_latency = float(self.device.true_latency(config))
+        return LatencySample(
+            config=config,
+            latency_s=float(latency),
+            device=self.device_name,
+            true_latency_s=true_latency,
+            is_reference=is_reference,
+        )
+
+    def _run_batch(self, batch_index: int) -> "tuple[List[LatencySample], BatchRecord]":
+        """Run a batch to QC verdict, re-executing with backoff on drift."""
+        attempts: List[AttemptRecord] = []
+        samples: List[LatencySample] = []
+        for attempt in range(self.max_qc_retries + 1):
+            samples, _, record = self._run_attempt(batch_index, attempt)
+            if not record.qc_passed and attempt < self.max_qc_retries:
+                backoff = self.backoff_s * self.backoff_factor**attempt
+                if backoff > 0:
+                    self.sleep(backoff)
+                record = AttemptRecord(**{**record.to_dict(), "backoff_s": backoff})
+            attempts.append(record)
+            if record.qc_passed:
+                break
+        qc_passed = attempts[-1].qc_passed
+        if not qc_passed:
+            # Retry budget exhausted: keep the data, flag it, never drop it.
+            samples = [
+                LatencySample(**{**s.__dict__, "qc_passed": False}) for s in samples
+            ]
+        record = BatchRecord(
+            index=batch_index,
+            n_configs=len(self._batch_configs(batch_index)),
+            attempts=attempts,
+            qc_passed=qc_passed,
+        )
+        return samples, record
+
+    # ------------------------------------------------------------------ #
+    # Enrollment
+    # ------------------------------------------------------------------ #
+
+    def _enroll_references(self) -> None:
+        rng = _attempt_rng(self.seed, _ENROLL_SLOT, 0)
+        if hasattr(self.device, "begin_session"):
+            self.device.begin_session(rng)
+        self.references.enroll(
+            lambda config: self._measure_one(config, rng)[0]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Manifest plumbing
+    # ------------------------------------------------------------------ #
+
+    def _fresh_manifest(self) -> dict:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint(),
+            "device": self.device_name,
+            "seed": self.seed,
+            "n_configs": len(self.configs),
+            "batch_size": self.batch_size,
+            "n_batches": self.n_batches,
+            "protocol": self.protocol.to_dict(),
+            "drift_threshold": self.drift_threshold,
+            "max_qc_retries": self.max_qc_retries,
+            "references": self.references.to_dict(),
+            "batches": {},  # str(batch_index) -> BatchRecord dict
+        }
+
+    def _load_or_init_manifest(self) -> dict:
+        manifest = self.store.load_manifest()
+        if manifest is None:
+            self.store.ensure_layout()
+            manifest = self._fresh_manifest()
+            if not self.references.enrolled:
+                self._enroll_references()
+            manifest["references"] = self.references.to_dict()
+            self.store.save_manifest(manifest)
+            return manifest
+        if manifest.get("fingerprint") != self.fingerprint():
+            raise CampaignError(
+                f"campaign directory {self.store.root} belongs to a different "
+                "campaign (fingerprint mismatch); refusing to mix shards"
+            )
+        stored = ReferenceSet.from_dict(manifest["references"])
+        if not stored.enrolled:
+            # Crash between mkdir and enrollment: enroll now.
+            self._enroll_references()
+            manifest["references"] = self.references.to_dict()
+            self.store.save_manifest(manifest)
+        else:
+            self.references.baselines = stored.baselines
+        return manifest
+
+    # ------------------------------------------------------------------ #
+    # The sweep
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_batches: Optional[int] = None) -> CampaignResult:
+        """Run (or resume) the campaign.
+
+        ``max_batches`` bounds how many *pending* batches this call
+        executes before returning — the hook tests use to interrupt a
+        campaign mid-sweep; production callers leave it None.  The result
+        always reflects every batch completed so far, by this process or a
+        previous one.
+        """
+        started = time.monotonic()
+        manifest = self._load_or_init_manifest()
+        executed = 0
+        for index in range(self.n_batches):
+            key = str(index)
+            recorded = manifest["batches"].get(key)
+            if recorded is not None and self.store.has_shard(index):
+                # Completed by an earlier process (or earlier call): skip.
+                if not recorded.get("resumed"):
+                    recorded["resumed"] = True
+                continue
+            if max_batches is not None and executed >= max_batches:
+                break
+            samples, record = self._run_batch(index)
+            record.shard = self.store.write_shard(index, LatencyDataset(samples))
+            manifest["batches"][key] = record.to_dict()
+            self.store.save_manifest(manifest)
+            executed += 1
+
+        report = self._report(manifest)
+        report.wall_clock_s = time.monotonic() - started
+        report.save(self.store.report_path)
+        dataset = LatencyDataset()
+        for index in range(self.n_batches):
+            if self.store.has_shard(index):
+                dataset.extend(self.store.read_shard(index).samples)
+        return CampaignResult(dataset=dataset, report=report)
+
+    @property
+    def complete(self) -> bool:
+        manifest = self.store.load_manifest()
+        if manifest is None:
+            return False
+        return all(
+            str(i) in manifest["batches"] and self.store.has_shard(i)
+            for i in range(self.n_batches)
+        )
+
+    def _report(self, manifest: dict) -> CampaignReport:
+        batches = [
+            BatchRecord.from_dict(manifest["batches"][key])
+            for key in sorted(manifest["batches"], key=int)
+        ]
+        return CampaignReport(
+            device=self.device_name,
+            seed=self.seed,
+            n_configs=len(self.configs),
+            batch_size=self.batch_size,
+            protocol=self.protocol.to_dict(),
+            drift_threshold=self.drift_threshold,
+            max_qc_retries=self.max_qc_retries,
+            batches=batches,
+        )

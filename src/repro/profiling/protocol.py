@@ -1,0 +1,134 @@
+"""The paper's measurement protocol as a first-class, configurable object.
+
+Section IV of the paper fixes one protocol for every latency number it
+reports: run each architecture 150 times, discard the fastest and slowest
+20% of runs, and average the middle 60%.  `MeasurementProtocol` lifts
+those constants out of `SimulatedDevice.measure_latency` (which now
+delegates here) so campaigns can tighten or relax the protocol — fewer
+runs for cheap screening sweeps, a warm-up discard for devices whose
+transient the trim cannot absorb — without forking the measurement code.
+
+The protocol also owns trace *validation*: a trace containing NaNs,
+infinities, or non-positive latencies is not a measurement, it is a fault,
+and surfaces as `MeasurementError` so the campaign retry logic can treat
+it like any other transient failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..hardware.errors import MeasurementError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..archspace.config import ArchConfig
+
+__all__ = ["MeasurementProtocol"]
+
+
+@dataclass(frozen=True)
+class MeasurementProtocol:
+    """How one latency number is produced from repeated runs.
+
+    ``runs``
+        Consecutive timed iterations per measurement (paper: 150).
+    ``trim_fraction``
+        Fraction of runs discarded from *each* tail after sorting
+        (paper: 0.2, keeping the middle 60%; 0.5 keeps the median for odd
+        run counts).  When the trim would leave nothing
+        (``runs - 2 * floor(trim_fraction * runs) < 1``) the full trace is
+        averaged instead.
+    ``warmup_discard``
+        Leading iterations dropped before any statistics, for hardware
+        whose cold-start transient is too large for the trim to absorb.
+        The default 0 matches the paper, whose trim already swallows the
+        warm-up on its devices.
+    """
+
+    runs: int = 150
+    trim_fraction: float = 0.2
+    warmup_discard: int = 0
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+        if not 0.0 <= self.trim_fraction <= 0.5:
+            raise ValueError("trim_fraction must be in [0, 0.5]")
+        if not 0 <= self.warmup_discard < self.runs:
+            raise ValueError("warmup_discard must be in [0, runs)")
+
+    # ------------------------------------------------------------------ #
+    # Trace statistics
+    # ------------------------------------------------------------------ #
+
+    def validate_trace(self, trace: np.ndarray) -> np.ndarray:
+        """Return ``trace`` as a float array, or raise `MeasurementError`.
+
+        A healthy trace is one-dimensional, finite, and strictly positive;
+        anything else (NaN poisoning, negative garbage, an empty buffer) is
+        a fault, not a datum.
+        """
+        trace = np.asarray(trace, dtype=float)
+        if trace.ndim != 1 or trace.size == 0:
+            raise MeasurementError(
+                f"expected a non-empty 1-d latency trace, got shape {trace.shape}"
+            )
+        if not np.isfinite(trace).all():
+            bad = int(np.count_nonzero(~np.isfinite(trace)))
+            raise MeasurementError(
+                f"latency trace contains {bad} non-finite value(s)"
+            )
+        if (trace <= 0).any():
+            bad = int(np.count_nonzero(trace <= 0))
+            raise MeasurementError(
+                f"latency trace contains {bad} non-positive value(s)"
+            )
+        return trace
+
+    def trimmed_mean(self, trace: np.ndarray) -> float:
+        """Collapse a raw trace to one latency under this protocol."""
+        trace = self.validate_trace(trace)
+        if self.warmup_discard and trace.size > self.warmup_discard:
+            trace = trace[self.warmup_discard :]
+        ordered = np.sort(trace)
+        n = ordered.size
+        cut = int(np.floor(self.trim_fraction * n))
+        kept = ordered[cut : n - cut] if n - 2 * cut >= 1 else ordered
+        return float(kept.mean())
+
+    def measure(
+        self,
+        device,
+        target: "ArchConfig",
+        rng: "int | np.random.Generator | None" = None,
+    ) -> float:
+        """One protocol-governed latency of ``target`` on ``device``.
+
+        ``device`` is anything with the raw-trace API
+        (``measure(target, runs, rng) -> ndarray``): a `SimulatedDevice`,
+        a `FaultyDevice` wrapper, or eventually a real-hardware driver.
+        """
+        trace = device.measure(target, runs=self.runs, rng=rng)
+        return self.trimmed_mean(trace)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (campaign manifests)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "trim_fraction": self.trim_fraction,
+            "warmup_discard": self.warmup_discard,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MeasurementProtocol":
+        return cls(
+            runs=int(d["runs"]),
+            trim_fraction=float(d["trim_fraction"]),
+            warmup_discard=int(d.get("warmup_discard", 0)),
+        )

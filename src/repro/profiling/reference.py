@@ -1,0 +1,131 @@
+"""Reference-model quality control: the paper's Fig. 6 drift gate.
+
+The dataset-generation protocol re-measures a small set of *reference
+models* inside every batch.  Their latencies were enrolled once under
+known-good conditions; if a batch's re-measurement drifts from the
+enrolled baseline by more than a threshold (paper: 3%), something
+systematic happened to the device during that batch — thermal throttling,
+a background process, a clock change — and the whole batch is re-executed.
+`ReferenceSet` holds the reference configs and baselines and renders the
+verdict; the retry policy lives in `CampaignRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..archspace.sampling import RandomSampler
+from ..archspace.spaces import SpaceSpec
+
+__all__ = ["QCResult", "ReferenceSet"]
+
+
+@dataclass(frozen=True)
+class QCResult:
+    """Verdict of one reference re-measurement against the baselines."""
+
+    passed: bool
+    drifts: Tuple[float, ...]  # per-reference |measured/baseline - 1|
+    threshold: float
+
+    @property
+    def max_drift(self) -> float:
+        return max(self.drifts) if self.drifts else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "drifts": list(self.drifts),
+            "max_drift": self.max_drift,
+            "threshold": self.threshold,
+        }
+
+
+class ReferenceSet:
+    """k reference configs plus (once enrolled) their baseline latencies."""
+
+    def __init__(
+        self,
+        configs: Sequence[ArchConfig],
+        baselines: Optional[Sequence[float]] = None,
+    ):
+        if not configs:
+            raise ValueError("a ReferenceSet needs at least one config")
+        self.configs: List[ArchConfig] = list(configs)
+        self.baselines: Optional[List[float]] = None
+        if baselines is not None:
+            self._set_baselines(baselines)
+
+    @classmethod
+    def from_space(
+        cls,
+        spec: SpaceSpec,
+        k: int = 3,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "ReferenceSet":
+        """Sample k reference configs uniformly from an architecture space."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return cls(RandomSampler(spec, rng=rng).sample_batch(k))
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    @property
+    def enrolled(self) -> bool:
+        return self.baselines is not None
+
+    def _set_baselines(self, baselines: Sequence[float]) -> None:
+        baselines = [float(b) for b in baselines]
+        if len(baselines) != len(self.configs):
+            raise ValueError(
+                f"got {len(baselines)} baselines for {len(self.configs)} configs"
+            )
+        if any(not np.isfinite(b) or b <= 0 for b in baselines):
+            raise ValueError("baselines must be finite and positive")
+        self.baselines = baselines
+
+    def enroll(self, measure: Callable[[ArchConfig], float]) -> List[float]:
+        """Measure every reference once and freeze the result as baseline."""
+        self._set_baselines([measure(config) for config in self.configs])
+        return list(self.baselines)
+
+    def check(self, measured: Sequence[float], threshold: float) -> QCResult:
+        """Compare a re-measurement against the enrolled baselines."""
+        if not self.enrolled:
+            raise RuntimeError("ReferenceSet.check before enroll")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if len(measured) != len(self.baselines):
+            raise ValueError(
+                f"got {len(measured)} measurements for {len(self.baselines)} baselines"
+            )
+        drifts = tuple(
+            abs(float(m) / b - 1.0) for m, b in zip(measured, self.baselines)
+        )
+        return QCResult(
+            passed=all(d <= threshold for d in drifts),
+            drifts=drifts,
+            threshold=float(threshold),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence (campaign manifests)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "configs": [c.to_dict() for c in self.configs],
+            "baselines": None if self.baselines is None else list(self.baselines),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ReferenceSet":
+        return cls(
+            configs=[ArchConfig.from_dict(c) for c in d["configs"]],
+            baselines=d.get("baselines"),
+        )

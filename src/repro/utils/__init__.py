@@ -1,10 +1,15 @@
-"""Small shared helpers (deterministic RNG handling)."""
+"""Small shared helpers (deterministic RNG handling, atomic file writes)."""
 
 from __future__ import annotations
 
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
 import numpy as np
 
-__all__ = ["ensure_rng"]
+__all__ = ["ensure_rng", "atomic_write_text"]
 
 
 def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
@@ -18,3 +23,32 @@ def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The text goes to a temporary file in the same directory (same
+    filesystem, so the final rename cannot degrade into a copy) and is
+    fsynced before `os.replace` swaps it into place.  Readers therefore see
+    either the previous complete file or the new complete file — never a
+    truncated intermediate — and an interrupt mid-write leaves the
+    destination untouched.  Dataset saves, campaign shards, and campaign
+    manifests all funnel through here.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

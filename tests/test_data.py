@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import (
+    DatasetError,
     LatencyDataset,
     LatencySample,
     RandomSampler,
@@ -76,6 +77,73 @@ class TestRoundTrip:
             LatencyDataset.from_dict({"format_version": 2, "samples": []})
         with pytest.raises(ValueError):
             LatencyDataset.from_dict({"samples": []})
+
+    def test_qc_flag_round_trips_and_is_omitted_when_true(self, tiny_dataset):
+        sample = tiny_dataset[0]
+        assert "qc_passed" not in sample.to_dict()
+        flagged = LatencySample(**{**sample.__dict__, "qc_passed": False})
+        assert flagged.to_dict()["qc_passed"] is False
+        clone = LatencySample.from_dict(flagged.to_dict())
+        assert not clone.qc_passed
+        assert LatencySample.from_dict(sample.to_dict()).qc_passed
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        tiny_dataset.save(path)
+        tiny_dataset.save(path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["ds.json"]
+        assert LatencyDataset.load(path).to_dict() == tiny_dataset.to_dict()
+
+    def test_failed_serialisation_preserves_existing_file(self, tiny_dataset, tmp_path):
+        from repro.utils import atomic_write_text
+
+        path = tmp_path / "ds.json"
+        tiny_dataset.save(path)
+        before = path.read_bytes()
+
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not writable text
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["ds.json"]
+
+
+class TestLoadErrors:
+    """Every load failure mode names the file and the problem."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            LatencyDataset.load(tmp_path / "nope.json")
+
+    def test_truncated_json(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        tiny_dataset.save(path)
+        path.write_text(path.read_text()[:-20])
+        with pytest.raises(DatasetError, match="not valid JSON"):
+            LatencyDataset.load(path)
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "ds.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DatasetError, match="expected a JSON object"):
+            LatencyDataset.load(path)
+
+    def test_schema_violation_names_file(self, tmp_path):
+        path = tmp_path / "ds.json"
+        path.write_text(json.dumps({"format_version": 1, "samples": [{"bad": 1}]}))
+        with pytest.raises(DatasetError, match="ds.json"):
+            LatencyDataset.load(path)
+
+    def test_dataset_error_is_a_value_error(self):
+        assert issubclass(DatasetError, ValueError)
+
+    @pytest.mark.parametrize("latency", [0.0, -0.2, float("nan"), float("inf")])
+    def test_nonpositive_latency_rejected(self, tiny_dataset, latency):
+        d = tiny_dataset[0].to_dict()
+        d["latency_s"] = latency
+        with pytest.raises(DatasetError, match="latency_s"):
+            LatencySample.from_dict(d)
 
 
 class TestCommittedFixture:

@@ -1,0 +1,352 @@
+"""Measurement campaigns: reference QC, fault recovery, checkpoint/resume.
+
+The seeded scenarios use a *quiet* device profile (no natural throttling,
+tiny session noise) so that every QC verdict is attributable to the
+injected faults, not the simulator's own background noise model.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    CampaignError,
+    CampaignReport,
+    CampaignRunner,
+    DatasetError,
+    DeviceProfile,
+    FaultPlan,
+    FaultyDevice,
+    LatencyDataset,
+    MeasurementProtocol,
+    RandomSampler,
+    ReferenceSet,
+    SimulatedDevice,
+    resnet_space,
+)
+from repro.profiling import CampaignStore
+
+QUIET = DeviceProfile(
+    name="quietsim",
+    peak_flops=19.0e12,
+    mem_bandwidth=384e9,
+    cache_bytes=6e6,
+    num_compute_units=48,
+    wave_quantum=2_000_000,
+    launch_overhead_s=3.5e-6,
+    launch_exponent=0.74,
+    cache_penalty=1.2,
+    jitter_cv=0.004,
+    outlier_prob=0.0,
+    outlier_scale=0.1,
+    warmup_factor=1.5,
+    warmup_iters=3,
+    session_sigma=0.002,
+    throttle_prob=0.0,
+    throttle_factor=1.0,
+)
+
+# With campaign seed 42 this plan corrupts batches 1 and 2 on their first
+# attempt (sustained throttle sessions) and sprinkles transient faults;
+# both batches recover on re-execution.
+FAULT_PLAN = FaultPlan(
+    throttle_prob=0.35,
+    throttle_factor=1.25,
+    error_prob=0.03,
+    timeout_prob=0.02,
+    corrupt_prob=0.04,
+)
+
+PROTOCOL = MeasurementProtocol(runs=25)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return resnet_space()
+
+
+@pytest.fixture(scope="module")
+def sweep_configs(spec):
+    return RandomSampler(spec, rng=1).sample_batch(20)
+
+
+def make_runner(device, campaign_dir, configs, spec, seed=42, **kwargs):
+    kwargs.setdefault("references", ReferenceSet.from_space(spec, k=2, rng=7))
+    kwargs.setdefault("protocol", PROTOCOL)
+    kwargs.setdefault("batch_size", 5)
+    kwargs.setdefault("sleep", lambda s: None)
+    return CampaignRunner(device, configs, campaign_dir, seed=seed, **kwargs)
+
+
+def shard_bytes(campaign_dir, n_batches):
+    return [
+        (Path(campaign_dir) / "shards" / f"batch-{i:04d}.json").read_bytes()
+        for i in range(n_batches)
+    ]
+
+
+class TestReferenceSet:
+    def test_from_space_is_seeded(self, spec):
+        a = ReferenceSet.from_space(spec, k=3, rng=0)
+        b = ReferenceSet.from_space(spec, k=3, rng=0)
+        assert a.configs == b.configs
+        assert len(a) == 3 and not a.enrolled
+
+    def test_enroll_then_check(self, spec):
+        refs = ReferenceSet.from_space(spec, k=2, rng=0)
+        refs.enroll(lambda config: 1.0)
+        assert refs.enrolled and refs.baselines == [1.0, 1.0]
+        ok = refs.check([1.02, 0.99], threshold=0.03)
+        assert ok.passed and ok.max_drift == pytest.approx(0.02)
+        bad = refs.check([1.05, 1.0], threshold=0.03)
+        assert not bad.passed and bad.max_drift == pytest.approx(0.05)
+
+    def test_check_before_enroll_raises(self, spec):
+        with pytest.raises(RuntimeError):
+            ReferenceSet.from_space(spec, k=1, rng=0).check([1.0], threshold=0.03)
+
+    def test_invalid_inputs(self, spec):
+        refs = ReferenceSet.from_space(spec, k=2, rng=0)
+        with pytest.raises(ValueError):
+            ReferenceSet([])
+        with pytest.raises(ValueError):
+            ReferenceSet(refs.configs, baselines=[1.0])  # length mismatch
+        with pytest.raises(ValueError):
+            ReferenceSet(refs.configs, baselines=[1.0, -1.0])
+        refs.enroll(lambda config: 1.0)
+        with pytest.raises(ValueError):
+            refs.check([1.0, 1.0], threshold=0.0)
+        with pytest.raises(ValueError):
+            refs.check([1.0], threshold=0.03)
+
+    def test_dict_round_trip(self, spec):
+        refs = ReferenceSet.from_space(spec, k=2, rng=0)
+        refs.enroll(lambda config: 0.5)
+        clone = ReferenceSet.from_dict(refs.to_dict())
+        assert clone.configs == refs.configs
+        assert clone.baselines == refs.baselines
+
+
+class TestCleanCampaign:
+    @pytest.fixture(scope="class")
+    def result(self, sweep_configs, spec, tmp_path_factory):
+        runner = make_runner(
+            SimulatedDevice(QUIET, seed=0),
+            tmp_path_factory.mktemp("clean"),
+            sweep_configs,
+            spec,
+        )
+        return runner.run()
+
+    def test_gate_does_not_fire_on_a_clean_device(self, result):
+        report = result.report
+        assert report.all_qc_passed
+        assert report.total_qc_retries == 0
+        assert report.max_drift < 0.03
+        assert all(b.n_attempts == 1 for b in report.batches)
+
+    def test_dataset_contents(self, result, sweep_configs):
+        # 4 batches x (5 sweep configs + 2 references).
+        assert len(result.dataset) == 28
+        assert len(result.measurements) == 20
+        assert [s.config for s in result.measurements] == sweep_configs
+        assert all(s.qc_passed for s in result.dataset)
+        assert all(s.is_reference for s in result.dataset if s.config not in sweep_configs)
+        assert all(s.device == "quietsim" for s in result.dataset)
+        assert all(s.true_latency_s is not None for s in result.dataset)
+
+    def test_report_round_trips_through_json(self, result, tmp_path):
+        path = tmp_path / "report.json"
+        result.report.save(path)
+        clone = CampaignReport.load(path)
+        assert clone.to_dict() == result.report.to_dict()
+
+
+class TestFaultyCampaign:
+    def run_faulty(self, directory, sweep_configs, spec, device_seed=0, **kwargs):
+        device = FaultyDevice(
+            SimulatedDevice(QUIET, seed=0), FAULT_PLAN, seed=device_seed
+        )
+        return make_runner(device, directory, sweep_configs, spec, **kwargs)
+
+    def test_gate_fires_and_recovers_under_injected_throttle(
+        self, sweep_configs, spec, tmp_path
+    ):
+        report = self.run_faulty(tmp_path, sweep_configs, spec).run().report
+        first_attempt_failures = [
+            b for b in report.batches if not b.attempts[0].qc_passed
+        ]
+        assert len(first_attempt_failures) >= 1
+        assert report.total_qc_retries >= 1
+        # Every corrupted batch drifted by ~ the injected throttle factor
+        # and recovered on a re-execution.
+        for batch in first_attempt_failures:
+            assert batch.attempts[0].max_drift > 0.03
+            assert batch.qc_passed
+            assert batch.attempts[-1].qc_passed
+        assert report.all_qc_passed
+
+    def test_backoff_between_qc_attempts(self, sweep_configs, spec, tmp_path):
+        sleeps = []
+        runner = self.run_faulty(
+            tmp_path,
+            sweep_configs,
+            spec,
+            sleep=sleeps.append,
+            backoff_s=0.1,
+            backoff_factor=2.0,
+        )
+        report = runner.run().report
+        # One exponential backoff per failed attempt that had retries left.
+        expected = []
+        for batch in report.batches:
+            for attempt in batch.attempts[:-1]:
+                expected.append(0.1 * 2.0**attempt.attempt)
+        assert sleeps == expected
+        assert len(sleeps) == report.total_qc_retries >= 1
+
+    def test_exhausted_retries_flag_but_keep_the_batch(
+        self, sweep_configs, spec, tmp_path
+    ):
+        # Enroll baselines on the clean device, then measure everything on
+        # a permanently-throttled one: every attempt fails QC.
+        clean = SimulatedDevice(QUIET, seed=0)
+        refs = ReferenceSet.from_space(spec, k=2, rng=7)
+        refs.enroll(lambda c: clean.measure_latency(c, protocol=PROTOCOL, rng=0))
+        device = FaultyDevice(
+            SimulatedDevice(QUIET, seed=0),
+            FaultPlan(throttle_prob=1.0, throttle_factor=1.3),
+            seed=0,
+        )
+        configs = sweep_configs[:6]
+        runner = make_runner(
+            device, tmp_path, configs, spec,
+            references=refs, batch_size=3, max_qc_retries=1,
+        )
+        result = runner.run()
+        report = result.report
+        assert report.n_qc_failed_batches == report.n_batches == 2
+        assert all(b.n_attempts == 2 for b in report.batches)
+        # Kept, never dropped — but every sample carries the flag.
+        assert len(result.dataset) == 6 + 2 * 2
+        assert all(not s.qc_passed for s in result.dataset)
+        # The flag survives the shard round trip by construction (the
+        # dataset above was read back from the shards).
+        reloaded = LatencyDataset.load(Path(tmp_path) / "shards" / "batch-0000.json")
+        assert all(not s.qc_passed for s in reloaded)
+
+    def test_resume_is_byte_identical_and_matches_clean_device(
+        self, sweep_configs, spec, tmp_path
+    ):
+        """The acceptance scenario: corruption, detection, re-execution,
+        kill, resume, and a final dataset the QC gate can vouch for."""
+        clean_result = make_runner(
+            SimulatedDevice(QUIET, seed=0), tmp_path / "clean", sweep_configs, spec
+        ).run()
+
+        # Uninterrupted faulty campaign.
+        full = self.run_faulty(tmp_path / "full", sweep_configs, spec).run()
+
+        # Interrupted twin: killed after 2 batches...
+        partial_runner = self.run_faulty(tmp_path / "twin", sweep_configs, spec)
+        partial_runner.run(max_batches=2)
+        assert not partial_runner.complete
+        done = sorted(p.name for p in (tmp_path / "twin" / "shards").iterdir())
+        assert done == ["batch-0000.json", "batch-0001.json"]
+
+        # ...and resumed by a fresh process: new runner, new device whose
+        # *own* seed differs — campaign draws come from the campaign seed.
+        resumed_runner = self.run_faulty(
+            tmp_path / "twin", sweep_configs, spec, device_seed=999
+        )
+        resumed = resumed_runner.run()
+        assert resumed_runner.complete
+
+        # Byte-identical shards, so resuming re-measured nothing new and
+        # lost nothing.
+        assert shard_bytes(tmp_path / "twin", 4) == shard_bytes(tmp_path / "full", 4)
+
+        # The first two batches were inherited, not re-run.
+        assert [b.resumed for b in resumed.report.batches] == [
+            True, True, False, False,
+        ]
+
+        # The QC gate caught the corrupted batches and re-executed them;
+        # the report remembers every retry.
+        assert resumed.report.total_qc_retries >= 1
+        assert any(not b.attempts[0].qc_passed for b in resumed.report.batches)
+        assert resumed.report.all_qc_passed
+
+        # Final faulty-device latencies agree with the clean device within
+        # the QC threshold.
+        faulty_lat = resumed.measurements.latencies
+        clean_lat = clean_result.measurements.latencies
+        assert np.abs(faulty_lat / clean_lat - 1.0).max() < 0.03
+
+    def test_crash_between_shard_and_manifest_is_recovered(
+        self, sweep_configs, spec, tmp_path
+    ):
+        runner = self.run_faulty(tmp_path, sweep_configs, spec)
+        runner.run()
+        before = shard_bytes(tmp_path, 4)
+        # Simulate a crash window: shard 2 on disk, manifest never updated.
+        store = CampaignStore(tmp_path)
+        manifest = store.load_manifest()
+        del manifest["batches"]["2"]
+        store.save_manifest(manifest)
+        resumed = self.run_faulty(tmp_path, sweep_configs, spec, device_seed=5)
+        result = resumed.run()
+        assert shard_bytes(tmp_path, 4) == before
+        assert len(result.dataset) == 28
+
+
+class TestCampaignGuards:
+    def test_fingerprint_mismatch_is_refused(self, sweep_configs, spec, tmp_path):
+        make_runner(
+            SimulatedDevice(QUIET, seed=0), tmp_path, sweep_configs, spec
+        ).run(max_batches=1)
+        other = make_runner(
+            SimulatedDevice(QUIET, seed=0), tmp_path, sweep_configs[:10], spec
+        )
+        with pytest.raises(CampaignError):
+            other.run()
+
+    def test_constructor_validation(self, sweep_configs, spec, tmp_path):
+        device = SimulatedDevice(QUIET, seed=0)
+        refs = ReferenceSet.from_space(spec, k=1, rng=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(device, [], tmp_path, refs)
+        with pytest.raises(ValueError):
+            CampaignRunner(device, sweep_configs, tmp_path, refs, batch_size=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(device, sweep_configs, tmp_path, refs, max_qc_retries=-1)
+
+    def test_device_without_profile_needs_explicit_name(
+        self, sweep_configs, spec, tmp_path
+    ):
+        class Bare:
+            pass
+
+        refs = ReferenceSet.from_space(spec, k=1, rng=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(Bare(), sweep_configs, tmp_path, refs)
+
+    def test_exhausted_transient_budget_raises(self, sweep_configs, spec, tmp_path):
+        device = FaultyDevice(
+            SimulatedDevice(QUIET, seed=0), FaultPlan(error_prob=1.0), seed=0
+        )
+        runner = make_runner(
+            device, tmp_path, sweep_configs[:2], spec, max_transient_retries=2
+        )
+        with pytest.raises(CampaignError):
+            runner.run()
+
+    def test_corrupt_manifest_raises_dataset_error(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            store.load_manifest()
+        store.manifest_path.write_text('{"manifest_version": 99}')
+        with pytest.raises(DatasetError):
+            store.load_manifest()

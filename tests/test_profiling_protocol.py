@@ -1,0 +1,164 @@
+"""`MeasurementProtocol`: validation, trimmed-mean properties, delegation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MeasurementError,
+    MeasurementProtocol,
+    RandomSampler,
+    SimulatedDevice,
+    resnet_space,
+)
+
+
+def reference_trimmed_mean(values, trim_fraction, warmup_discard=0):
+    """Independent trimmed mean in plain Python, for cross-checking."""
+    values = list(values)
+    if warmup_discard and len(values) > warmup_discard:
+        values = values[warmup_discard:]
+    ordered = sorted(values)
+    n = len(ordered)
+    cut = int(np.floor(trim_fraction * n))
+    kept = ordered[cut : n - cut] if n - 2 * cut >= 1 else ordered
+    return sum(kept) / len(kept)
+
+
+@pytest.fixture(scope="module")
+def sample_config():
+    return RandomSampler(resnet_space(), rng=11).sample()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"runs": 0},
+            {"runs": -3},
+            {"trim_fraction": -0.01},
+            {"trim_fraction": 0.51},
+            {"warmup_discard": -1},
+            {"runs": 10, "warmup_discard": 10},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(**kwargs)
+
+    def test_paper_defaults(self):
+        protocol = MeasurementProtocol()
+        assert protocol.runs == 150
+        assert protocol.trim_fraction == 0.2
+        assert protocol.warmup_discard == 0
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            [],
+            [[1.0, 2.0]],
+            [1.0, np.nan, 3.0],
+            [1.0, np.inf],
+            [1.0, -2.0],
+            [0.0, 1.0],
+        ],
+    )
+    def test_invalid_traces_raise_measurement_error(self, trace):
+        with pytest.raises(MeasurementError):
+            MeasurementProtocol(runs=2).trimmed_mean(np.array(trace))
+
+
+class TestTrimmedMean:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        runs=st.integers(min_value=1, max_value=200),
+        trim=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_matches_independent_implementation(self, runs, trim, seed):
+        trace = np.random.default_rng(seed).lognormal(0.0, 0.5, size=runs)
+        protocol = MeasurementProtocol(runs=runs, trim_fraction=trim)
+        expected = reference_trimmed_mean(trace, trim)
+        assert protocol.trimmed_mean(trace) == pytest.approx(expected, rel=1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        runs=st.integers(min_value=2, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_warmup_discard_drops_leading_entries(self, runs, seed):
+        rng = np.random.default_rng(seed)
+        trace = rng.lognormal(0.0, 0.3, size=runs)
+        discard = int(rng.integers(1, runs))
+        protocol = MeasurementProtocol(
+            runs=runs, trim_fraction=0.2, warmup_discard=discard
+        )
+        expected = reference_trimmed_mean(trace, 0.2, warmup_discard=discard)
+        assert protocol.trimmed_mean(trace) == pytest.approx(expected, rel=1e-12)
+
+    def test_fallback_when_trim_would_leave_nothing(self):
+        # trim=0.5 on an even run count trims everything -> average the
+        # full trace instead of failing.
+        trace = np.array([1.0, 2.0, 3.0, 10.0])
+        protocol = MeasurementProtocol(runs=4, trim_fraction=0.5)
+        assert protocol.trimmed_mean(trace) == pytest.approx(4.0)
+
+    def test_median_for_odd_runs_at_half_trim(self):
+        trace = np.array([5.0, 1.0, 100.0])
+        protocol = MeasurementProtocol(runs=3, trim_fraction=0.5)
+        assert protocol.trimmed_mean(trace) == pytest.approx(5.0)
+
+    def test_single_run_is_identity(self):
+        protocol = MeasurementProtocol(runs=1)
+        assert protocol.trimmed_mean(np.array([0.37])) == pytest.approx(0.37)
+
+
+class TestDeviceDelegation:
+    """`SimulatedDevice.measure_latency` is now a thin protocol wrapper."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(runs=st.integers(min_value=1, max_value=200))
+    def test_measure_latency_matches_independent_trim(self, sample_config, runs):
+        trace = SimulatedDevice("rtx4090", seed=13).measure(sample_config, runs=runs)
+        value = SimulatedDevice("rtx4090", seed=13).measure_latency(
+            sample_config, runs=runs
+        )
+        assert value == pytest.approx(reference_trimmed_mean(trace, 0.2), rel=1e-12)
+
+    def test_explicit_protocol_overrides_runs(self, sample_config):
+        protocol = MeasurementProtocol(runs=30)
+        a = SimulatedDevice("rtx4090", seed=5).measure_latency(
+            sample_config, runs=999, protocol=protocol
+        )
+        b = SimulatedDevice("rtx4090", seed=5).measure_latency(sample_config, runs=30)
+        assert a == b
+
+    def test_protocol_measure_equals_device_measure_latency(self, sample_config):
+        protocol = MeasurementProtocol(runs=40)
+        a = protocol.measure(SimulatedDevice("rtx4090", seed=8), sample_config)
+        b = SimulatedDevice("rtx4090", seed=8).measure_latency(sample_config, runs=40)
+        assert a == b
+
+    def test_warmup_discard_changes_small_run_measurements(self, sample_config):
+        # With few runs the warm-up transient dominates the mean; an explicit
+        # discard must remove it (lower measured latency).
+        no_discard = SimulatedDevice("rtx4090", seed=21).measure_latency(
+            sample_config, protocol=MeasurementProtocol(runs=8, trim_fraction=0.0)
+        )
+        discard = SimulatedDevice("rtx4090", seed=21).measure_latency(
+            sample_config,
+            protocol=MeasurementProtocol(runs=8, trim_fraction=0.0, warmup_discard=5),
+        )
+        assert discard < no_discard
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        protocol = MeasurementProtocol(runs=75, trim_fraction=0.1, warmup_discard=4)
+        clone = MeasurementProtocol.from_dict(protocol.to_dict())
+        assert clone == protocol
+
+    def test_from_dict_defaults_warmup(self):
+        clone = MeasurementProtocol.from_dict({"runs": 150, "trim_fraction": 0.2})
+        assert clone == MeasurementProtocol()

@@ -1,0 +1,8 @@
+"""Performance benchmarks for the measurement and encoding hot paths.
+
+Each ``bench_*.py`` module exposes ``run(smoke=False, out_dir=None)``,
+times a before/after pair on the same seeded workload, and writes a
+``results/BENCH_<name>.json`` record.  ``python -m benchmarks`` runs them
+all; ``--smoke`` shrinks every workload so CI can exercise the harness in
+seconds.  See README.md in this directory for the result schema.
+"""

@@ -1,0 +1,68 @@
+"""Batch encoding: vectorized ``encode_batch`` vs the per-config loop.
+
+Times every registered encoding on the same sampled config batch against
+``Encoding._encode_batch_loop`` (the preserved reference implementation)
+and asserts the outputs agree — exactly for the index-scatter encoders,
+to float tolerance for the statistical encoder, whose numpy reductions
+sum in a different (pairwise) order than the sequential loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import best_of, sample_configs, write_result
+
+FAMILY = "resnet"
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import get_encoding, list_encodings
+
+    n = 300 if smoke else 2000
+    configs, spec = sample_configs(FAMILY, n, seed=3)
+    repeat = 1 if smoke else 3
+
+    encoders = {}
+    total_loop = 0.0
+    total_vec = 0.0
+    all_equivalent = True
+    for name in list_encodings():
+        encoding = get_encoding(name)
+        loop_s, loop_out = best_of(
+            lambda: encoding._encode_batch_loop(configs, spec), repeat
+        )
+        vec_s, vec_out = best_of(
+            lambda: encoding.encode_batch(configs, spec), repeat
+        )
+        if name == "statistical":
+            equivalent = np.allclose(loop_out, vec_out, rtol=1e-12, atol=1e-14)
+        else:
+            equivalent = np.array_equal(loop_out, vec_out)
+        all_equivalent = all_equivalent and bool(equivalent)
+        total_loop += loop_s
+        total_vec += vec_s
+        encoders[name] = {
+            "loop_wall_s": round(loop_s, 6),
+            "wall_s": round(vec_s, 6),
+            "speedup": round(loop_s / vec_s, 2),
+            "equivalent": bool(equivalent),
+        }
+
+    return write_result(
+        "encode",
+        params={"family": FAMILY, "n_configs": n, "smoke": smoke},
+        wall_s=total_vec,
+        per_item_us=total_vec / (n * len(encoders)) * 1e6,
+        cache_hit_rate=None,
+        out_dir=out_dir,
+        baseline_wall_s=round(total_loop, 6),
+        speedup=round(total_loop / total_vec, 2),
+        equivalent=all_equivalent,
+        encoders=encoders,
+    )
+
+
+if __name__ == "__main__":
+    path, payload = run()
+    print(path)

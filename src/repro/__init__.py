@@ -35,6 +35,8 @@ from .encodings import (
 from .hardware import (
     DEVICE_NAMES,
     DEVICES,
+    AnalyticalCache,
+    CacheInfo,
     DeviceProfile,
     FaultPlan,
     FaultyDevice,
@@ -100,6 +102,8 @@ __all__ = [
     "working_set_bytes",
     "num_kernels",
     # hardware
+    "AnalyticalCache",
+    "CacheInfo",
     "DeviceProfile",
     "DEVICES",
     "DEVICE_NAMES",

@@ -74,6 +74,22 @@ class ArchConfig:
             for block in blocks:
                 yield u, block
 
+    def cache_key(self) -> Tuple:
+        """Canonical hashable identity of this architecture.
+
+        A flat tuple of primitives — cheaper to hash and compare than the
+        nested dataclass itself — used to key per-config memoization (the
+        simulator's analytical-latency cache).  Two configs have equal
+        cache keys iff they lower to the same network.
+        """
+        return (
+            self.family,
+            tuple(
+                tuple((b.kernel_size, b.expand_ratio) for b in blocks)
+                for blocks in self.units
+            ),
+        )
+
     def to_dict(self) -> dict:
         return {
             "family": self.family,

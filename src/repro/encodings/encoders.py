@@ -20,10 +20,20 @@ length depends only on the `SpaceSpec`:
 
 Families without an expansion dimension (DenseNet) are handled by treating
 ``expand_ratio=None`` as a single dummy choice.
+
+``encode_batch`` is the hot path of predictor training inside the ESM
+loop, so every encoder vectorizes it: one flattening pass gathers every
+block of the batch into index arrays (`_BlockTable`), and the encoding is
+then materialised with a handful of fancy-indexing / ``np.add.at``
+operations on the preallocated ``(n, length)`` matrix instead of n
+separate `encode` calls.  The per-config loop survives as
+`Encoding._encode_batch_loop`, the reference implementation the
+equivalence tests compare against.
 """
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,8 +55,81 @@ def _expand_choices(spec: SpaceSpec) -> Tuple[Optional[float], ...]:
     return spec.expand_choices if spec.expand_choices is not None else (None,)
 
 
+def _reject(config: ArchConfig, spec: SpaceSpec) -> None:
+    raise ValueError(
+        f"config (family={config.family!r}) is not a member of the "
+        f"{spec.family!r} space"
+    )
+
+
+class _BlockTable:
+    """Every block of a batch, flattened into parallel index arrays.
+
+    One Python pass over the configs produces integer arrays (``cfg``,
+    ``unit``, ``pos``, ``kidx``, ``eidx``) of length total-blocks plus the
+    per-config depth matrix; all five encoders then vectorize over these
+    with numpy scatter operations.  Space membership is validated inline
+    during the same pass (an out-of-space choice simply misses the lookup
+    tables), so the batch never needs a second `spec.contains` sweep.
+    """
+
+    def __init__(self, configs: Sequence[ArchConfig], spec: SpaceSpec):
+        n_expand = len(_expand_choices(spec))
+        joint_lut = {
+            (k, e): ki * n_expand + ei
+            for ki, k in enumerate(spec.kernel_choices)
+            for ei, e in enumerate(_expand_choices(spec))
+        }
+        depth_ok = set(spec.depth_choices)
+        family, num_units = spec.family, spec.num_units
+        uniform = spec.uniform_kernel
+        cfg: List[int] = []
+        unit: List[int] = []
+        pos: List[int] = []
+        joint: List[int] = []
+        depths: List[List[int]] = []
+        for i, config in enumerate(configs):
+            units = config.units
+            if config.family != family or len(units) != num_units:
+                _reject(config, spec)
+            row: List[int] = []
+            for u, blocks in enumerate(units):
+                d = len(blocks)
+                if d not in depth_ok:
+                    _reject(config, spec)
+                if uniform and len({b.kernel_size for b in blocks}) != 1:
+                    _reject(config, spec)
+                row.append(d)
+                cfg.extend(repeat(i, d))
+                unit.extend(repeat(u, d))
+                pos.extend(range(d))
+                try:
+                    for block in blocks:
+                        joint.append(joint_lut[block.kernel_size, block.expand_ratio])
+                except KeyError:
+                    _reject(config, spec)
+            depths.append(row)
+        self.n_expand = n_expand
+        self.cfg = np.asarray(cfg, dtype=np.intp)
+        self.unit = np.asarray(unit, dtype=np.intp)
+        self.pos = np.asarray(pos, dtype=np.intp)
+        self.joint = np.asarray(joint, dtype=np.intp)
+        self.kidx = self.joint // n_expand
+        self.eidx = self.joint - self.kidx * n_expand
+        self.depths = np.asarray(depths, dtype=np.intp).reshape(
+            len(configs), num_units
+        )
+
+    def kernel_values(self, spec: SpaceSpec) -> np.ndarray:
+        return np.asarray(spec.kernel_choices, dtype=float)[self.kidx]
+
+    def expand_values(self, spec: SpaceSpec) -> np.ndarray:
+        """Per-block expand ratios; only valid when the space has them."""
+        return np.asarray(spec.expand_choices, dtype=float)[self.eidx]
+
+
 class Encoding:
-    """Base class: subclasses implement `length` and `encode`."""
+    """Base class: subclasses implement `length`, `encode`, `encode_batch`."""
 
     name: str = "base"
 
@@ -57,11 +140,23 @@ class Encoding:
         raise NotImplementedError
 
     def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
-        """Stack per-config vectors into an ``(n, length)`` matrix."""
+        """``(n, length)`` feature matrix; subclasses vectorize this."""
+        return self._encode_batch_loop(configs, spec)
+
+    def _encode_batch_loop(
+        self, configs: Sequence[ArchConfig], spec: SpaceSpec
+    ) -> np.ndarray:
+        """Reference implementation: stack per-config `encode` vectors."""
         out = np.zeros((len(configs), self.length(spec)))
         for i, config in enumerate(configs):
             out[i] = self.encode(config, spec)
         return out
+
+    def _batch_table(
+        self, configs: Sequence[ArchConfig], spec: SpaceSpec
+    ) -> _BlockTable:
+        """Flatten the batch once, validating membership along the way."""
+        return _BlockTable(configs, spec)
 
     def _check(self, config: ArchConfig, spec: SpaceSpec) -> None:
         if not spec.contains(config):
@@ -94,6 +189,26 @@ class OneHotEncoding(Encoding):
                 vec[base + len(spec.depth_choices) + b * n_joint + joint] = 1.0
         return vec
 
+    def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
+        table = self._batch_table(configs, spec)
+        n_expand = len(_expand_choices(spec))
+        n_joint = len(spec.kernel_choices) * n_expand
+        n_depth = len(spec.depth_choices)
+        unit_len = n_depth + spec.max_depth * n_joint
+        out = np.zeros((len(configs), self.length(spec)))
+        if not configs:
+            return out
+        depth_lut = {d: i for i, d in enumerate(spec.depth_choices)}
+        depth_idx = np.vectorize(depth_lut.__getitem__, otypes=[np.intp])(
+            table.depths
+        )
+        unit_base = np.arange(spec.num_units, dtype=np.intp) * unit_len
+        rows = np.arange(len(configs), dtype=np.intp)[:, None]
+        out[rows, unit_base[None, :] + depth_idx] = 1.0
+        cols = table.unit * unit_len + n_depth + table.pos * n_joint + table.joint
+        out[table.cfg, cols] = 1.0
+        return out
+
 
 class FeatureEncoding(Encoding):
     name = "feature"
@@ -116,6 +231,23 @@ class FeatureEncoding(Encoding):
                     vec[base + 2 + 2 * b] = block.expand_ratio / e_max
         return vec
 
+    def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
+        table = self._batch_table(configs, spec)
+        k_max = max(spec.kernel_choices)
+        unit_len = 1 + 2 * spec.max_depth
+        out = np.zeros((len(configs), self.length(spec)))
+        if not configs:
+            return out
+        unit_base = np.arange(spec.num_units, dtype=np.intp) * unit_len
+        rows = np.arange(len(configs), dtype=np.intp)[:, None]
+        out[rows, unit_base[None, :]] = table.depths / spec.max_depth
+        block_base = table.unit * unit_len + 1 + 2 * table.pos
+        out[table.cfg, block_base] = table.kernel_values(spec) / k_max
+        if spec.expand_choices is not None:
+            e_max = max(spec.expand_choices)
+            out[table.cfg, block_base + 1] = table.expand_values(spec) / e_max
+        return out
+
 
 class StatisticalEncoding(Encoding):
     name = "statistical"
@@ -137,6 +269,34 @@ class StatisticalEncoding(Encoding):
                 vec[base + 3] = expands.mean()
                 vec[base + 4] = expands.std()
         return vec
+
+    @staticmethod
+    def _moments(
+        values: np.ndarray, table: _BlockTable, depths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-(config, unit) mean and population std of block values."""
+        sums = np.zeros(depths.shape)
+        np.add.at(sums, (table.cfg, table.unit), values)
+        means = sums / depths
+        sq = np.zeros(depths.shape)
+        np.add.at(sq, (table.cfg, table.unit), (values - means[table.cfg, table.unit]) ** 2)
+        return means, np.sqrt(sq / depths)
+
+    def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
+        table = self._batch_table(configs, spec)
+        out = np.zeros((len(configs), self.length(spec)))
+        if not configs:
+            return out
+        depths = table.depths.astype(float)
+        out[:, 0::5] = depths
+        mean_k, std_k = self._moments(table.kernel_values(spec), table, depths)
+        out[:, 1::5] = mean_k
+        out[:, 2::5] = std_k
+        if spec.expand_choices is not None:
+            mean_e, std_e = self._moments(table.expand_values(spec), table, depths)
+            out[:, 3::5] = mean_e
+            out[:, 4::5] = std_e
+        return out
 
 
 class FCEncoding(Encoding):
@@ -162,6 +322,19 @@ class FCEncoding(Encoding):
                     vec[base + n_kernel + spec.expand_choices.index(block.expand_ratio)] += 1.0
         return vec
 
+    def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
+        table = self._batch_table(configs, spec)
+        n_kernel = len(spec.kernel_choices)
+        n_expand = len(spec.expand_choices) if spec.expand_choices else 0
+        unit_len = n_kernel + n_expand
+        out = np.zeros((len(configs), self.length(spec)))
+        np.add.at(out, (table.cfg, table.unit * unit_len + table.kidx), 1.0)
+        if n_expand:
+            np.add.at(
+                out, (table.cfg, table.unit * unit_len + n_kernel + table.eidx), 1.0
+            )
+        return out
+
 
 class FCCEncoding(Encoding):
     """Feature-Combination-Count: per-unit counts per joint (kernel, expand)."""
@@ -184,3 +357,11 @@ class FCCEncoding(Encoding):
                 ) + expands.index(block.expand_ratio)
                 vec[base + joint] += 1.0
         return vec
+
+    def encode_batch(self, configs: Sequence[ArchConfig], spec: SpaceSpec) -> np.ndarray:
+        table = self._batch_table(configs, spec)
+        n_expand = len(_expand_choices(spec))
+        n_joint = len(spec.kernel_choices) * n_expand
+        out = np.zeros((len(configs), self.length(spec)))
+        np.add.at(out, (table.cfg, table.unit * n_joint + table.joint), 1.0)
+        return out

@@ -12,6 +12,20 @@ transient, multiplicative jitter, sparse positive outliers);
 ``measure_latency`` applies a `MeasurementProtocol` — by default the
 paper's: discard the fastest and slowest 20% of runs, average the middle
 60%.
+
+Two structural properties make the measurement hot path cheap:
+
+* The analytical latency of an `ArchConfig` is memoized in a bounded LRU
+  (`AnalyticalCache`, keyed by `ArchConfig.cache_key()`), so the 150 noisy
+  runs of one config — and the reference models re-measured every campaign
+  batch — pay for the IR lowering and roofline sweep exactly once.
+* The noise model is generated block-wise: `_trace_block` draws each
+  config's randomness in the canonical order (session, throttle, jitter,
+  outlier positions, outlier heights) and then applies the deterministic
+  scaling to the whole ``(n_configs, runs)`` block in a handful of numpy
+  operations.  The per-config draw order is preserved, so block results
+  are bit-identical to measuring the configs one at a time from the same
+  seeded generator — a regression test locks this in.
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ from ..network.builders import build_network
 from ..network.ir import Network
 from ..profiling.protocol import MeasurementProtocol
 from ..utils import ensure_rng
+from .cache import AnalyticalCache, CacheInfo
 from .profiles import DeviceProfile, device_by_name
 from .roofline import layer_time
 
@@ -39,11 +54,14 @@ class SimulatedDevice:
         self,
         profile: Union[DeviceProfile, str],
         seed: "int | np.random.Generator | None" = None,
+        cache_size: int = 4096,
     ):
         if isinstance(profile, str):
             profile = device_by_name(profile)
         self.profile = profile
         self.rng = ensure_rng(seed)
+        self.analytical_cache = AnalyticalCache(cache_size)
+        self._cache_profile = profile
 
     # ------------------------------------------------------------------ #
     # Deterministic analytical latency
@@ -60,9 +78,8 @@ class SimulatedDevice:
         overflow = 1.0 - self.profile.cache_bytes / working_set
         return 1.0 + self.profile.cache_penalty * overflow
 
-    def true_latency(self, target: Union[ArchConfig, Network]) -> float:
-        """Noise-free end-to-end latency in seconds."""
-        net = self._as_network(target)
+    def _analytical_latency(self, net: Network) -> float:
+        """The full IR sweep: per-layer roofline plus the global terms."""
         pressure = self._cache_pressure(net)
         total = 0.0
         for layer in net.layers:
@@ -74,9 +91,74 @@ class SimulatedDevice:
         )
         return total + launch
 
+    def true_latency(self, target: Union[ArchConfig, Network]) -> float:
+        """Noise-free end-to-end latency in seconds.
+
+        `ArchConfig` targets are memoized behind `ArchConfig.cache_key()`;
+        a pre-built `Network` bypasses the cache (it has no canonical key
+        and callers who lowered it themselves own its lifetime).
+        """
+        if not isinstance(target, ArchConfig):
+            return self._analytical_latency(target)
+        if self.profile != self._cache_profile:
+            # The profile was swapped out underneath us: every cached
+            # latency belongs to the old device, so drop them all.
+            self.analytical_cache.clear()
+            self._cache_profile = self.profile
+        key = target.cache_key()
+        value = self.analytical_cache.get(key)
+        if value is None:
+            value = self._analytical_latency(build_network(target))
+            self.analytical_cache.put(key, value)
+        return value
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss accounting of the analytical-latency cache."""
+        return self.analytical_cache.info()
+
     # ------------------------------------------------------------------ #
     # Noisy measurement
     # ------------------------------------------------------------------ #
+
+    def _trace_block(
+        self, bases: np.ndarray, runs: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Noise-model traces for a block of configs: ``(n, runs)`` seconds.
+
+        Stochastic draws happen per config in the canonical order (session
+        factor, throttle coin, jitter, outlier positions, outlier heights)
+        so the stream consumed for config ``i`` is exactly what a lone
+        ``measure`` call would consume; the deterministic arithmetic —
+        session scaling, warm-up transient, outlier application — is then
+        applied to the whole block at once.
+        """
+        p = self.profile
+        n = int(bases.shape[0])
+        session = np.empty(n)
+        jitter = np.empty((n, runs))
+        spike_mask = np.zeros((n, runs), dtype=bool)
+        spike_boost = np.empty((n, runs))
+        for i in range(n):
+            factor = float(np.exp(rng.normal(0.0, p.session_sigma)))
+            if rng.random() < p.throttle_prob:
+                factor *= p.throttle_factor
+            session[i] = factor
+            jitter[i] = rng.normal(0.0, p.jitter_cv, size=runs)
+            spikes = rng.random(runs) < p.outlier_prob
+            if spikes.any():
+                spike_mask[i] = spikes
+                spike_boost[i, spikes] = 1.0 + rng.exponential(
+                    p.outlier_scale, size=int(spikes.sum())
+                )
+        traces = (bases * session)[:, None] * np.exp(jitter)
+
+        # Warm-up transient: geometric decay toward steady state.
+        idx = np.arange(min(p.warmup_iters, runs))
+        traces[:, : idx.size] *= 1.0 + (p.warmup_factor - 1.0) * 0.5**idx
+
+        if spike_mask.any():
+            traces[spike_mask] *= spike_boost[spike_mask]
+        return traces
 
     def measure(
         self,
@@ -88,23 +170,8 @@ class SimulatedDevice:
         if runs < 1:
             raise ValueError("runs must be >= 1")
         rng = self.rng if rng is None else ensure_rng(rng)
-        p = self.profile
         base = self.true_latency(target)
-
-        session = float(np.exp(rng.normal(0.0, p.session_sigma)))
-        if rng.random() < p.throttle_prob:
-            session *= p.throttle_factor
-
-        trace = base * session * np.exp(rng.normal(0.0, p.jitter_cv, size=runs))
-
-        # Warm-up transient: geometric decay toward steady state.
-        idx = np.arange(min(p.warmup_iters, runs))
-        trace[: idx.size] *= 1.0 + (p.warmup_factor - 1.0) * 0.5**idx
-
-        spikes = rng.random(runs) < p.outlier_prob
-        if spikes.any():
-            trace[spikes] *= 1.0 + rng.exponential(p.outlier_scale, size=int(spikes.sum()))
-        return trace
+        return self._trace_block(np.array([base]), runs, rng)[0]
 
     def measure_latency(
         self,
@@ -127,17 +194,22 @@ class SimulatedDevice:
         targets: List[Union[ArchConfig, Network]],
         runs: int = 150,
         rng: "int | np.random.Generator | None" = None,
+        protocol: Optional[MeasurementProtocol] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Measure many configs from one seeded stream.
 
-        Returns ``(measured, true)`` latency arrays; deterministic given the
-        rng state and the order of ``targets``.
+        Returns ``(measured, true)`` latency arrays; deterministic given
+        the rng state and the order of ``targets``, and bit-identical to
+        calling ``measure_latency`` per config on the same stream.  The
+        analytical latency of each target is resolved exactly once (via
+        the cache for `ArchConfig`, directly for a pre-built `Network`)
+        and threaded through to both the noise model and the returned
+        ground truth — no target is lowered twice.
         """
         rng = self.rng if rng is None else ensure_rng(rng)
-        measured = np.empty(len(targets))
-        true = np.empty(len(targets))
-        for i, target in enumerate(targets):
-            net = self._as_network(target)
-            true[i] = self.true_latency(net)
-            measured[i] = self.measure_latency(net, runs=runs, rng=rng)
-        return measured, true
+        if protocol is None:
+            protocol = MeasurementProtocol(runs=runs)
+        bases = np.array([self.true_latency(t) for t in targets], dtype=float)
+        traces = self._trace_block(bases, protocol.runs, rng)
+        measured = np.array([protocol.trimmed_mean(trace) for trace in traces])
+        return measured, bases

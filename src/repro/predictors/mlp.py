@@ -5,6 +5,12 @@ torch/sklearn stack is available.  Hyperparameters default to the paper's:
 MSE loss, Adam with lr 0.01 and weight decay 1e-4.  Inputs are z-scored
 and targets scaled by their mean inside `fit`, so the same settings work
 across devices whose latencies differ by orders of magnitude.
+
+Optional early stopping (``patience``/``tol``) cuts retraining short once
+the epoch loss stops improving — the ESM loop refits the predictor after
+every dataset extension, and easy early rounds rarely need the full 300
+epochs.  It is off by default so the paper's fixed-epoch training (and
+every seeded result downstream of it) is reproduced exactly.
 """
 
 from __future__ import annotations
@@ -27,13 +33,27 @@ class MLPPredictor:
         epochs: int = 300,
         batch_size: int = 64,
         seed: int = 0,
+        patience: Optional[int] = None,
+        tol: float = 0.0,
     ):
+        """``patience=None`` (default) trains for exactly ``epochs`` epochs.
+
+        With ``patience=p``, training stops once ``p`` consecutive epochs
+        fail to improve the best epoch loss by more than ``tol`` —
+        ``loss_history_`` then records only the epochs actually run.
+        """
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be >= 1 (or None to disable)")
+        if tol < 0:
+            raise ValueError("tol must be >= 0")
         self.hidden_dim = hidden_dim
         self.lr = lr
         self.weight_decay = weight_decay
         self.epochs = epochs
         self.batch_size = batch_size
         self.seed = seed
+        self.patience = patience
+        self.tol = tol
         self.loss_history_: List[float] = []
         self._weights: Optional[List[np.ndarray]] = None
         self._biases: Optional[List[np.ndarray]] = None
@@ -73,6 +93,8 @@ class MLPPredictor:
         n = Xn.shape[0]
         batch = min(self.batch_size, n)
         self.loss_history_ = []
+        best_loss = np.inf
+        stale_epochs = 0
         for _ in range(self.epochs):
             order = rng.permutation(n)
             epoch_loss = 0.0
@@ -114,7 +136,16 @@ class MLPPredictor:
                         v_hat = v / (1 - beta2**step_t)
                         param -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
                 step += 1
-            self.loss_history_.append(epoch_loss / n)
+            epoch_loss /= n
+            self.loss_history_.append(epoch_loss)
+            if self.patience is not None:
+                if epoch_loss < best_loss - self.tol:
+                    best_loss = epoch_loss
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.patience:
+                        break
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

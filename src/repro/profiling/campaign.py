@@ -18,16 +18,24 @@ paper's dataset-generation protocol:
 Determinism is the load-bearing property: every stochastic draw of batch
 ``b``, attempt ``a`` comes from ``default_rng([seed, b + 1, a])`` — a
 stream independent of campaign history — so an interrupted-and-resumed
-campaign produces byte-identical shards to an uninterrupted one.
+campaign produces byte-identical shards to an uninterrupted one.  The same
+independence makes batches embarrassingly parallel: ``workers=N`` farms
+whole batches out to a spawn-safe process pool (each worker gets a
+picklable `_BatchTask` and runs the *same* `_execute_batch` function the
+sequential path uses), and the shards come back byte-identical to a
+sequential run because no sample ever depends on cross-batch state.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +59,136 @@ class CampaignError(RuntimeError):
 def _attempt_rng(seed: int, slot: int, attempt: int) -> np.random.Generator:
     """The RNG stream for one (batch, attempt) — independent of history."""
     return np.random.default_rng([seed, slot, attempt])
+
+
+# ---------------------------------------------------------------------- #
+# Batch execution (shared by the sequential path and pool workers)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _BatchTask:
+    """Everything one batch needs, picklable so a pool worker can run it.
+
+    The device travels *by value* into the worker; that is safe because
+    every stochastic draw flows through the per-(batch, attempt) RNG, so a
+    copy measures the same bytes the parent's device would have.
+    """
+
+    device: object
+    configs: List[ArchConfig]
+    references: ReferenceSet
+    protocol: MeasurementProtocol
+    seed: int
+    index: int
+    drift_threshold: float
+    max_qc_retries: int
+    max_transient_retries: int
+    backoff_s: float
+    backoff_factor: float
+    device_name: str
+
+
+def _measure_one(
+    task: _BatchTask, config: ArchConfig, rng: np.random.Generator
+) -> Tuple[float, int]:
+    """One protocol latency with in-place transient retries.
+
+    Returns ``(latency_s, retries_used)``; raises `CampaignError` once the
+    transient budget is exhausted.
+    """
+    last_error: Optional[MeasurementError] = None
+    for attempt in range(task.max_transient_retries + 1):
+        try:
+            return task.protocol.measure(task.device, config, rng=rng), attempt
+        except MeasurementError as exc:
+            last_error = exc
+    raise CampaignError(
+        f"measurement failed {task.max_transient_retries + 1} times in a row: "
+        f"{last_error}"
+    ) from last_error
+
+
+def _make_sample(
+    task: _BatchTask, config: ArchConfig, latency: float, *, is_reference: bool
+) -> LatencySample:
+    true_latency = None
+    if hasattr(task.device, "true_latency"):
+        true_latency = float(task.device.true_latency(config))
+    return LatencySample(
+        config=config,
+        latency_s=float(latency),
+        device=task.device_name,
+        true_latency_s=true_latency,
+        is_reference=is_reference,
+    )
+
+
+def _run_attempt(
+    task: _BatchTask, attempt: int
+) -> Tuple[List[LatencySample], List[float], AttemptRecord]:
+    """Execute one attempt of one batch: configs, then references."""
+    started = time.monotonic()
+    rng = _attempt_rng(task.seed, task.index + 1, attempt)
+    if hasattr(task.device, "begin_session"):
+        task.device.begin_session(rng)
+    transient_retries = 0
+    samples: List[LatencySample] = []
+    for config in task.configs:
+        latency, retries = _measure_one(task, config, rng)
+        transient_retries += retries
+        samples.append(_make_sample(task, config, latency, is_reference=False))
+    ref_measured: List[float] = []
+    for config in task.references.configs:
+        latency, retries = _measure_one(task, config, rng)
+        transient_retries += retries
+        ref_measured.append(latency)
+    qc = task.references.check(ref_measured, task.drift_threshold)
+    samples.extend(
+        _make_sample(task, c, m, is_reference=True)
+        for c, m in zip(task.references.configs, ref_measured)
+    )
+    record = AttemptRecord(
+        attempt=attempt,
+        qc_passed=qc.passed,
+        drifts=list(qc.drifts),
+        max_drift=qc.max_drift,
+        transient_retries=transient_retries,
+        backoff_s=0.0,
+        wall_clock_s=time.monotonic() - started,
+    )
+    return samples, ref_measured, record
+
+
+def _execute_batch(
+    task: _BatchTask, sleep: Callable[[float], None] = time.sleep
+) -> Tuple[List[LatencySample], BatchRecord]:
+    """Run a batch to QC verdict, re-executing with backoff on drift."""
+    attempts: List[AttemptRecord] = []
+    samples: List[LatencySample] = []
+    for attempt in range(task.max_qc_retries + 1):
+        samples, _, record = _run_attempt(task, attempt)
+        if not record.qc_passed and attempt < task.max_qc_retries:
+            backoff = task.backoff_s * task.backoff_factor**attempt
+            if backoff > 0:
+                sleep(backoff)
+            record = AttemptRecord(**{**record.to_dict(), "backoff_s": backoff})
+        attempts.append(record)
+        if record.qc_passed:
+            break
+    qc_passed = attempts[-1].qc_passed
+    if not qc_passed:
+        # Retry budget exhausted: keep the data, flag it, never drop it.
+        samples = [
+            LatencySample(**{**s.__dict__, "qc_passed": False}) for s in samples
+        ]
+    record = BatchRecord(
+        index=task.index,
+        n_configs=len(task.configs),
+        attempts=attempts,
+        qc_passed=qc_passed,
+    )
+    return samples, record
 
 
 @dataclass
@@ -86,6 +224,8 @@ class CampaignRunner:
         backoff_factor: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
         device_name: Optional[str] = None,
+        workers: int = 1,
+        mp_context: Optional[str] = None,
     ):
         if not configs:
             raise ValueError("a campaign needs at least one config")
@@ -93,6 +233,8 @@ class CampaignRunner:
             raise ValueError("batch_size must be >= 1")
         if max_qc_retries < 0 or max_transient_retries < 0:
             raise ValueError("retry budgets must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.device = device
         self.configs = list(configs)
         self.store = CampaignStore(campaign_dir)
@@ -106,6 +248,14 @@ class CampaignRunner:
         self.backoff_s = float(backoff_s)
         self.backoff_factor = float(backoff_factor)
         self.sleep = sleep
+        self.workers = int(workers)
+        # Pool start method: "spawn" is the portable, always-safe default;
+        # "fork" starts workers in milliseconds on POSIX (they inherit the
+        # already-imported interpreter) and is worth requesting explicitly
+        # for short campaigns from single-threaded parents.  Shard bytes
+        # are identical either way, so neither this nor `workers` enters
+        # the fingerprint.
+        self.mp_context = "spawn" if mp_context is None else str(mp_context)
         if device_name is None:
             device_name = getattr(getattr(device, "profile", None), "name", None)
         if device_name is None:
@@ -153,101 +303,26 @@ class CampaignRunner:
     # Measurement primitives
     # ------------------------------------------------------------------ #
 
-    def _measure_one(
-        self, config: ArchConfig, rng: np.random.Generator
-    ) -> "tuple[float, int]":
-        """One protocol latency with in-place transient retries.
-
-        Returns ``(latency_s, retries_used)``; raises `CampaignError` once
-        the transient budget is exhausted.
-        """
-        last_error: Optional[MeasurementError] = None
-        for attempt in range(self.max_transient_retries + 1):
-            try:
-                return self.protocol.measure(self.device, config, rng=rng), attempt
-            except MeasurementError as exc:
-                last_error = exc
-        raise CampaignError(
-            f"measurement failed {self.max_transient_retries + 1} times in a row: "
-            f"{last_error}"
-        ) from last_error
-
-    def _run_attempt(
-        self, batch_index: int, attempt: int
-    ) -> "tuple[List[LatencySample], List[float], AttemptRecord]":
-        """Execute one attempt of one batch: configs, then references."""
-        started = time.monotonic()
-        rng = _attempt_rng(self.seed, batch_index + 1, attempt)
-        if hasattr(self.device, "begin_session"):
-            self.device.begin_session(rng)
-        transient_retries = 0
-        samples: List[LatencySample] = []
-        for config in self._batch_configs(batch_index):
-            latency, retries = self._measure_one(config, rng)
-            transient_retries += retries
-            samples.append(self._sample(config, latency, is_reference=False))
-        ref_measured: List[float] = []
-        for config in self.references.configs:
-            latency, retries = self._measure_one(config, rng)
-            transient_retries += retries
-            ref_measured.append(latency)
-        qc = self.references.check(ref_measured, self.drift_threshold)
-        samples.extend(
-            self._sample(c, m, is_reference=True)
-            for c, m in zip(self.references.configs, ref_measured)
-        )
-        record = AttemptRecord(
-            attempt=attempt,
-            qc_passed=qc.passed,
-            drifts=list(qc.drifts),
-            max_drift=qc.max_drift,
-            transient_retries=transient_retries,
-            backoff_s=0.0,
-            wall_clock_s=time.monotonic() - started,
-        )
-        return samples, ref_measured, record
-
-    def _sample(
-        self, config: ArchConfig, latency: float, *, is_reference: bool
-    ) -> LatencySample:
-        true_latency = None
-        if hasattr(self.device, "true_latency"):
-            true_latency = float(self.device.true_latency(config))
-        return LatencySample(
-            config=config,
-            latency_s=float(latency),
-            device=self.device_name,
-            true_latency_s=true_latency,
-            is_reference=is_reference,
+    def _task(self, batch_index: int) -> _BatchTask:
+        """The picklable work order for one batch."""
+        return _BatchTask(
+            device=self.device,
+            configs=self._batch_configs(batch_index),
+            references=self.references,
+            protocol=self.protocol,
+            seed=self.seed,
+            index=batch_index,
+            drift_threshold=self.drift_threshold,
+            max_qc_retries=self.max_qc_retries,
+            max_transient_retries=self.max_transient_retries,
+            backoff_s=self.backoff_s,
+            backoff_factor=self.backoff_factor,
+            device_name=self.device_name,
         )
 
     def _run_batch(self, batch_index: int) -> "tuple[List[LatencySample], BatchRecord]":
-        """Run a batch to QC verdict, re-executing with backoff on drift."""
-        attempts: List[AttemptRecord] = []
-        samples: List[LatencySample] = []
-        for attempt in range(self.max_qc_retries + 1):
-            samples, _, record = self._run_attempt(batch_index, attempt)
-            if not record.qc_passed and attempt < self.max_qc_retries:
-                backoff = self.backoff_s * self.backoff_factor**attempt
-                if backoff > 0:
-                    self.sleep(backoff)
-                record = AttemptRecord(**{**record.to_dict(), "backoff_s": backoff})
-            attempts.append(record)
-            if record.qc_passed:
-                break
-        qc_passed = attempts[-1].qc_passed
-        if not qc_passed:
-            # Retry budget exhausted: keep the data, flag it, never drop it.
-            samples = [
-                LatencySample(**{**s.__dict__, "qc_passed": False}) for s in samples
-            ]
-        record = BatchRecord(
-            index=batch_index,
-            n_configs=len(self._batch_configs(batch_index)),
-            attempts=attempts,
-            qc_passed=qc_passed,
-        )
-        return samples, record
+        """Run a batch in-process (the sequential path)."""
+        return _execute_batch(self._task(batch_index), sleep=self.sleep)
 
     # ------------------------------------------------------------------ #
     # Enrollment
@@ -257,8 +332,9 @@ class CampaignRunner:
         rng = _attempt_rng(self.seed, _ENROLL_SLOT, 0)
         if hasattr(self.device, "begin_session"):
             self.device.begin_session(rng)
+        task = self._task(0)
         self.references.enroll(
-            lambda config: self._measure_one(config, rng)[0]
+            lambda config: _measure_one(task, config, rng)[0]
         )
 
     # ------------------------------------------------------------------ #
@@ -318,25 +394,35 @@ class CampaignRunner:
         campaign mid-sweep; production callers leave it None.  The result
         always reflects every batch completed so far, by this process or a
         previous one.
+
+        With ``workers > 1`` the pending batches are farmed out to a
+        spawn-safe process pool.  Each batch's RNG streams depend only on
+        ``(seed, batch, attempt)``, so the shards a parallel run writes
+        are byte-identical to a sequential run's — only the completion
+        order (and therefore the manifest's commit order) differs, and
+        shards commit atomically as they finish, so a killed parallel
+        campaign resumes exactly like a sequential one.
         """
         started = time.monotonic()
         manifest = self._load_or_init_manifest()
-        executed = 0
+        pending: List[int] = []
         for index in range(self.n_batches):
-            key = str(index)
-            recorded = manifest["batches"].get(key)
+            recorded = manifest["batches"].get(str(index))
             if recorded is not None and self.store.has_shard(index):
                 # Completed by an earlier process (or earlier call): skip.
                 if not recorded.get("resumed"):
                     recorded["resumed"] = True
                 continue
-            if max_batches is not None and executed >= max_batches:
+            if max_batches is not None and len(pending) >= max_batches:
                 break
-            samples, record = self._run_batch(index)
-            record.shard = self.store.write_shard(index, LatencyDataset(samples))
-            manifest["batches"][key] = record.to_dict()
-            self.store.save_manifest(manifest)
-            executed += 1
+            pending.append(index)
+
+        if self.workers > 1 and len(pending) > 1:
+            self._run_parallel(pending, manifest)
+        else:
+            for index in pending:
+                samples, record = self._run_batch(index)
+                self._commit_batch(index, samples, record, manifest)
 
         report = self._report(manifest)
         report.wall_clock_s = time.monotonic() - started
@@ -346,6 +432,62 @@ class CampaignRunner:
             if self.store.has_shard(index):
                 dataset.extend(self.store.read_shard(index).samples)
         return CampaignResult(dataset=dataset, report=report)
+
+    def _commit_batch(
+        self,
+        index: int,
+        samples: List[LatencySample],
+        record: BatchRecord,
+        manifest: dict,
+    ) -> None:
+        """Durably persist one finished batch: shard first, then manifest.
+
+        The manifest's batch map is re-sorted by index on every commit so
+        its on-disk ordering is deterministic regardless of the order a
+        parallel run's batches happen to complete in.
+        """
+        record.shard = self.store.write_shard(index, LatencyDataset(samples))
+        manifest["batches"][str(index)] = record.to_dict()
+        manifest["batches"] = dict(
+            sorted(manifest["batches"].items(), key=lambda kv: int(kv[0]))
+        )
+        self.store.save_manifest(manifest)
+
+    def _run_parallel(self, pending: List[int], manifest: dict) -> None:
+        """Execute ``pending`` batches on a process pool, committing each
+        as it completes.  Falls back to the sequential path when no pool
+        can be created on this platform (or the pool's workers die before
+        producing results, e.g. spawn re-import is impossible); batches
+        already committed by the pool are never re-measured."""
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)),
+                mp_context=multiprocessing.get_context(self.mp_context),
+            )
+        except (ImportError, NotImplementedError, OSError, ValueError):
+            # ValueError: the requested start method does not exist on
+            # this platform (e.g. "fork" on Windows) — run sequentially.
+            self._run_serial(pending, manifest)
+            return
+        try:
+            with pool:
+                futures = {
+                    pool.submit(_execute_batch, self._task(index)): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    samples, record = future.result()
+                    self._commit_batch(index, samples, record, manifest)
+        except BrokenProcessPool:
+            self._run_serial(pending, manifest)
+
+    def _run_serial(self, pending: List[int], manifest: dict) -> None:
+        for index in pending:
+            if self.store.has_shard(index) and str(index) in manifest["batches"]:
+                continue
+            samples, record = self._run_batch(index)
+            self._commit_batch(index, samples, record, manifest)
 
     @property
     def complete(self) -> bool:

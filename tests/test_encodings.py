@@ -135,3 +135,44 @@ def test_property_count_invariants(data):
     sums = fcc_vec.reshape(spec.num_units, per_unit).sum(axis=1)
     assert tuple(int(s) for s in sums) == config.depths
     assert int(fcc_vec.sum()) == config.total_blocks
+
+
+@pytest.mark.parametrize("family", SPACE_NAMES)
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+def test_encode_batch_matches_loop(family, name):
+    """The vectorized encode_batch must agree with the per-config loop.
+
+    Exactly for the index-scatter encoders; to float tolerance for the
+    statistical one, whose numpy reductions sum in pairwise rather than
+    sequential order.
+    """
+    spec = space_by_name(family)
+    configs = RandomSampler(spec, rng=33).sample_batch(64)
+    encoding = get_encoding(name)
+    loop = encoding._encode_batch_loop(configs, spec)
+    vec = encoding.encode_batch(configs, spec)
+    assert vec.shape == loop.shape
+    assert vec.dtype == loop.dtype
+    if name == "statistical":
+        np.testing.assert_allclose(vec, loop, rtol=1e-12, atol=1e-14)
+    else:
+        np.testing.assert_array_equal(vec, loop)
+
+
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+def test_encode_batch_empty(name):
+    spec = space_by_name("resnet")
+    encoding = get_encoding(name)
+    out = encoding.encode_batch([], spec)
+    assert out.shape == (0, encoding.length(spec))
+
+
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+def test_encode_batch_rejects_foreign_config(name):
+    resnet = space_by_name("resnet")
+    densenet = space_by_name("densenet")
+    batch = RandomSampler(resnet, rng=5).sample_batch(3)
+    foreign = RandomSampler(densenet, rng=5).sample()
+    encoding = get_encoding(name)
+    with pytest.raises(ValueError):
+        encoding.encode_batch(batch + [foreign], resnet)

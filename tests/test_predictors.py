@@ -102,3 +102,41 @@ class TestLookupTable:
     def test_predict_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             LookupTableSurrogate().predict(np.zeros((1, 3)))
+
+
+class TestMLPEarlyStopping:
+    def test_off_by_default(self):
+        X, y = _linear_toy()
+        mlp = MLPPredictor(epochs=40, seed=0).fit(X, y)
+        assert mlp.patience is None
+        assert len(mlp.loss_history_) == 40
+
+    def test_triggers_on_easy_dataset(self):
+        X, y = _linear_toy()
+        mlp = MLPPredictor(epochs=300, seed=1, patience=10, tol=1e-7).fit(X, y)
+        assert len(mlp.loss_history_) < 300
+        # Still an accurate fit: stopping early must not mean underfitting.
+        assert np.abs(mlp.predict(X) - y).mean() < 0.2 * np.abs(y).std()
+
+    def test_stopped_run_is_a_prefix_of_the_full_run(self):
+        # Early stopping only truncates training: every epoch it does run
+        # consumes the same draws as the fixed-epoch schedule, so the loss
+        # history is a prefix of the patience-free one.
+        X, y = _linear_toy()
+        full = MLPPredictor(epochs=300, seed=1).fit(X, y)
+        stopped = MLPPredictor(epochs=300, seed=1, patience=10, tol=1e-7).fit(X, y)
+        k = len(stopped.loss_history_)
+        assert stopped.loss_history_ == full.loss_history_[:k]
+
+    def test_huge_tol_stops_after_patience_epochs(self):
+        # The first epoch always "improves" on the infinite initial best;
+        # with an unreachable tol every later epoch is stale.
+        X, y = _linear_toy()
+        mlp = MLPPredictor(epochs=100, seed=0, patience=3, tol=1e9).fit(X, y)
+        assert len(mlp.loss_history_) == 1 + 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MLPPredictor(patience=0)
+        with pytest.raises(ValueError):
+            MLPPredictor(tol=-1e-3)

@@ -350,3 +350,115 @@ class TestCampaignGuards:
         store.manifest_path.write_text('{"manifest_version": 99}')
         with pytest.raises(DatasetError):
             store.load_manifest()
+
+
+class TestParallelCampaign:
+    """workers=N must change wall-clock strategy only, never bytes."""
+
+    @staticmethod
+    def _context():
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+    def _run(self, campaign_dir, sweep_configs, spec, **kwargs):
+        device = SimulatedDevice(QUIET, seed=0)
+        runner = make_runner(device, campaign_dir, sweep_configs, spec, **kwargs)
+        return runner, runner.run()
+
+    def test_parallel_shards_byte_identical_to_sequential(
+        self, sweep_configs, spec, tmp_path
+    ):
+        seq, seq_result = self._run(tmp_path / "seq", sweep_configs, spec)
+        par, par_result = self._run(
+            tmp_path / "par",
+            sweep_configs,
+            spec,
+            workers=2,
+            mp_context=self._context(),
+        )
+        assert seq.n_batches == par.n_batches == 4
+        for index in range(seq.n_batches):
+            a = seq.store.shard_path(index).read_bytes()
+            b = par.store.shard_path(index).read_bytes()
+            assert a == b, f"shard {index} differs between workers=1 and 2"
+        assert [s.latency_s for s in seq_result.dataset] == [
+            s.latency_s for s in par_result.dataset
+        ]
+        # The manifests agree too, modulo wall-clock timings: same
+        # fingerprint, same per-batch records in the same on-disk order.
+        seq_manifest = seq.store.load_manifest()
+        par_manifest = par.store.load_manifest()
+        assert seq_manifest["fingerprint"] == par_manifest["fingerprint"]
+
+        def untimed(batches):
+            return {
+                key: {
+                    **record,
+                    "attempts": [
+                        {k: v for k, v in attempt.items() if k != "wall_clock_s"}
+                        for attempt in record["attempts"]
+                    ],
+                }
+                for key, record in batches.items()
+            }
+
+        assert untimed(seq_manifest["batches"]) == untimed(
+            par_manifest["batches"]
+        )
+        assert list(seq_manifest["batches"]) == list(par_manifest["batches"])
+
+    def test_interrupted_sequential_resumes_in_parallel(
+        self, sweep_configs, spec, tmp_path
+    ):
+        device = SimulatedDevice(QUIET, seed=0)
+        make_runner(device, tmp_path / "mix", sweep_configs, spec).run(
+            max_batches=2
+        )
+        mix, mix_result = self._run(
+            tmp_path / "mix",
+            sweep_configs,
+            spec,
+            workers=2,
+            mp_context=self._context(),
+        )
+        seq, seq_result = self._run(tmp_path / "ref", sweep_configs, spec)
+        for index in range(seq.n_batches):
+            assert (
+                mix.store.shard_path(index).read_bytes()
+                == seq.store.shard_path(index).read_bytes()
+            )
+
+    def test_unknown_mp_context_falls_back_to_serial(
+        self, sweep_configs, spec, tmp_path
+    ):
+        seq, seq_result = self._run(tmp_path / "seq", sweep_configs, spec)
+        fb, fb_result = self._run(
+            tmp_path / "fb",
+            sweep_configs,
+            spec,
+            workers=4,
+            mp_context="no-such-start-method",
+        )
+        for index in range(seq.n_batches):
+            assert (
+                fb.store.shard_path(index).read_bytes()
+                == seq.store.shard_path(index).read_bytes()
+            )
+
+    def test_workers_do_not_enter_the_fingerprint(
+        self, sweep_configs, spec, tmp_path
+    ):
+        device = SimulatedDevice(QUIET, seed=0)
+        a = make_runner(device, tmp_path / "a", sweep_configs, spec)
+        b = make_runner(
+            device, tmp_path / "b", sweep_configs, spec, workers=8,
+            mp_context="fork",
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_invalid_workers_rejected(self, sweep_configs, spec, tmp_path):
+        device = SimulatedDevice(QUIET, seed=0)
+        with pytest.raises(ValueError):
+            make_runner(device, tmp_path, sweep_configs, spec, workers=0)

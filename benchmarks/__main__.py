@@ -11,13 +11,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import bench_campaign, bench_encode, bench_measure
+from . import bench_campaign, bench_encode, bench_esm_loop, bench_measure
 from .common import RESULTS_DIR, summarize
 
 BENCHES = {
     "measure": bench_measure.run,
     "campaign": bench_campaign.run,
     "encode": bench_encode.run,
+    "esm_loop": bench_esm_loop.run,
 }
 
 

@@ -1,0 +1,110 @@
+"""Wall clock of a full ESM loop run: Algorithm 1 to convergence.
+
+Times a seeded `ESMLoop` — initial campaign, per-iteration MLP refits,
+bin-wise evaluation, and extension campaigns — on the simulated RTX 4090
+over the ResNet space, and reports per-iteration wall time next to the
+run's convergence outcome.  A second pass re-runs the loop over the
+finished run directory to time the *resume* path (every measurement batch
+reused; only sampling/training/evaluation recomputed), which is the cost
+a NAS consumer pays to rebuild the surrogate from provenance.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from .common import write_result
+
+FAMILY = "resnet"
+DEVICE = "rtx4090"
+SEED = 1
+
+
+def _config(smoke: bool):
+    from repro import ESMConfig
+
+    if smoke:
+        return ESMConfig(
+            space=FAMILY,
+            device=DEVICE,
+            acc_th=75.0,
+            n_bins=5,
+            initial_size=40,
+            extension_size=10,
+            max_iterations=3,
+            runs=9,
+            n_references=2,
+            batch_size=10,
+            seed=SEED,
+            predictor_params={"epochs": 150},
+        )
+    return ESMConfig(
+        space=FAMILY,
+        device=DEVICE,
+        acc_th=82.0,
+        n_bins=5,
+        initial_size=120,
+        extension_size=30,
+        max_iterations=6,
+        runs=15,
+        n_references=2,
+        batch_size=25,
+        seed=SEED,
+        predictor_params={"epochs": 600},
+    )
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import ESMLoop
+
+    config = _config(smoke)
+    root = Path(tempfile.mkdtemp(prefix="bench_esm_loop_"))
+    try:
+        loop = ESMLoop(config, root / "run", sleep=lambda s: None)
+        t0 = time.perf_counter()
+        result = loop.run()
+        wall_s = time.perf_counter() - t0
+
+        # Resume path: identical bytes, no re-measuring.
+        resume_loop = ESMLoop(config, root / "run", sleep=lambda s: None)
+        t0 = time.perf_counter()
+        resumed = resume_loop.run()
+        resume_wall_s = time.perf_counter() - t0
+
+        report = result.report
+        iterations = max(1, report.n_iterations)
+        cache_info = getattr(loop.device, "cache_info", lambda: None)()
+        return write_result(
+            "esm_loop",
+            params={
+                "family": FAMILY,
+                "device": DEVICE,
+                "acc_th": config.acc_th,
+                "initial_size": config.initial_size,
+                "extension_size": config.extension_size,
+                "max_iterations": config.max_iterations,
+                "runs": config.runs,
+                "epochs": config.predictor_params.get("epochs"),
+                "seed": SEED,
+                "smoke": smoke,
+            },
+            wall_s=wall_s,
+            per_item_us=wall_s / iterations * 1e6,
+            cache_hit_rate=None if cache_info is None else cache_info.hit_rate,
+            out_dir=out_dir,
+            converged=report.converged,
+            iterations=report.n_iterations,
+            final_dataset_size=report.final_dataset_size,
+            samples_added=report.total_samples_added,
+            resume_wall_s=round(resume_wall_s, 6),
+            resume_speedup=round(wall_s / resume_wall_s, 2) if resume_wall_s else None,
+            bit_identical=(
+                report.to_dict() == resumed.report.to_dict()
+                and result.dataset == resumed.dataset
+            ),
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

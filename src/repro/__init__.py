@@ -20,6 +20,16 @@ from .archspace import (
     resnet_space,
     space_by_name,
 )
+from .core import (
+    ESMConfig,
+    ESMLoop,
+    ESMRunReport,
+    ESMRunResult,
+    IterationRecord,
+    extension_plan,
+    extension_weights,
+    load_run,
+)
 from .data import FORMAT_VERSION, DatasetError, LatencyDataset, LatencySample
 from .encodings import (
     ENCODINGS,
@@ -45,7 +55,14 @@ from .hardware import (
     SimulatedDevice,
     device_by_name,
 )
-from .metrics import binwise_accuracy, mape, paper_accuracy, rmse, spearman
+from .metrics import (
+    binwise_accuracy,
+    failing_bins,
+    mape,
+    paper_accuracy,
+    rmse,
+    spearman,
+)
 from .network import (
     BUILDER_FAMILIES,
     Layer,
@@ -137,9 +154,19 @@ __all__ = [
     "PREDICTORS",
     "get_predictor",
     "list_predictors",
+    # core (the ESM loop itself)
+    "ESMConfig",
+    "ESMLoop",
+    "ESMRunResult",
+    "ESMRunReport",
+    "IterationRecord",
+    "extension_weights",
+    "extension_plan",
+    "load_run",
     # metrics
     "paper_accuracy",
     "binwise_accuracy",
+    "failing_bins",
     "mape",
     "rmse",
     "spearman",

@@ -118,6 +118,23 @@ class BalancedSampler(RandomSampler):
         lo, hi = self.bins[bin_index]
         return self._fill_blocks(self._depths_in_range(lo, hi))
 
+    def sample_counts(self, counts: "dict[int, int]") -> List[ArchConfig]:
+        """Draw ``counts[bin] `` configs inside each requested depth bin.
+
+        This is the measurement order Algorithm 1's extension step uses:
+        bins ascending, each bin's draws consecutive, so one seeded RNG
+        reproduces the exact extension set regardless of dict ordering.
+        """
+        configs: List[ArchConfig] = []
+        for bin_index in sorted(counts):
+            n = counts[bin_index]
+            if n < 0:
+                raise ValueError(
+                    f"sample count for bin {bin_index} must be >= 0, got {n}"
+                )
+            configs.extend(self.sample_in_bin(bin_index) for _ in range(n))
+        return configs
+
     def _depths_in_range(self, lo: int, hi: int) -> List[int]:
         spec = self.spec
         choices = sorted(spec.depth_choices)

@@ -1,0 +1,35 @@
+"""The ESM framework itself: Algorithm 1 with bin-gated convergence.
+
+`repro.core` wires the pipeline stages the rest of the package provides —
+balanced sampling over depth bins, fault-tolerant measurement campaigns,
+architecture encodings, the MLP predictor, and the paper's bin-wise
+accuracy metric — into the loop the paper actually describes:
+
+    train -> evaluate (bin-wise accuracy vs Acc_TH)
+          -> extend (weighted sampling toward failing bins)
+          -> retrain
+
+until every depth bin meets the accuracy threshold or the iteration
+budget runs out.  `ESMConfig` captures the user inputs of Table II,
+`ESMLoop` drives the loop, and `ESMRunReport` records per-iteration bin
+accuracies, extension plans, and dataset growth with JSON persistence, so
+NAS consumers can `load_run` a finished surrogate plus its provenance
+without re-measuring anything.
+"""
+
+from .config import ESMConfig
+from .extension import extension_plan, extension_weights
+from .loop import ESMLoop, ESMRunResult, load_run
+from .report import ESM_REPORT_FORMAT_VERSION, ESMRunReport, IterationRecord
+
+__all__ = [
+    "ESMConfig",
+    "ESMLoop",
+    "ESMRunResult",
+    "ESMRunReport",
+    "IterationRecord",
+    "ESM_REPORT_FORMAT_VERSION",
+    "extension_weights",
+    "extension_plan",
+    "load_run",
+]

@@ -1,0 +1,75 @@
+"""Algorithm 1's dataset-extension step as pure, testable functions.
+
+After each evaluation the loop knows the bin-wise accuracies; the paper
+extends the dataset by sampling *more heavily* from the bins that miss
+``Acc_TH``, in proportion to how badly they miss it.  The arithmetic
+lives here, free of sampling and measurement, so its invariants — weights
+normalise, every failing bin gets at least one sample, a fully passing
+evaluation extends nothing — can be property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping
+
+__all__ = ["extension_weights", "extension_plan"]
+
+
+def extension_weights(
+    accuracies: Mapping[Hashable, float], acc_th: float
+) -> Dict[Hashable, float]:
+    """Normalised sampling weights over the bins failing ``acc_th``.
+
+    Each failing bin's weight is its accuracy deficit ``acc_th - acc``
+    divided by the total deficit, so the weights sum to exactly 1.0 and a
+    bin twice as far from the threshold receives twice the sampling mass.
+    Passing bins carry no weight; an empty dict means nothing fails.
+    """
+    if not accuracies:
+        raise ValueError("extension_weights needs at least one bin accuracy")
+    deficits = {
+        b: acc_th - float(a) for b, a in accuracies.items() if float(a) < acc_th
+    }
+    if not deficits:
+        return {}
+    total = sum(deficits.values())
+    return {b: d / total for b, d in sorted(deficits.items())}
+
+
+def extension_plan(
+    accuracies: Mapping[Hashable, float], acc_th: float, extension_size: int
+) -> Dict[Hashable, int]:
+    """How many new samples each failing bin receives this iteration.
+
+    ``extension_size`` samples are apportioned by `extension_weights`
+    using largest-remainder rounding with a floor of one, so every failing
+    bin receives at least one sample even when its weight rounds to zero
+    (the corner-bin starvation the balanced strategy exists to prevent).
+    The plan totals ``max(extension_size, number of failing bins)``;
+    ties are broken deterministically by bin order.  All bins passing
+    yields an empty plan.
+    """
+    if extension_size < 1:
+        raise ValueError(f"extension_size must be >= 1, got {extension_size}")
+    weights = extension_weights(accuracies, acc_th)
+    if not weights:
+        return {}
+    total = max(extension_size, len(weights))
+    counts = {b: 1 for b in weights}
+    spare = total - len(weights)
+    quotas = {b: w * spare for b, w in weights.items()}
+    for b, q in quotas.items():
+        counts[b] += math.floor(q)
+    leftover = total - sum(counts.values())
+    by_remainder = sorted(
+        quotas, key=lambda b: (-(quotas[b] - math.floor(quotas[b])), _bin_order(b))
+    )
+    for b in by_remainder[:leftover]:
+        counts[b] += 1
+    return counts
+
+
+def _bin_order(b: Hashable):
+    """Deterministic tie-break key (bins are ints in practice)."""
+    return (str(type(b)), b if isinstance(b, (int, float)) else str(b))

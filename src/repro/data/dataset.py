@@ -111,6 +111,20 @@ class LatencyDataset:
     def extend(self, samples: Sequence[LatencySample]) -> None:
         self.samples.extend(samples)
 
+    def __add__(self, other: "LatencyDataset") -> "LatencyDataset":
+        """Concatenation, preserving order — how the ESM loop grows its
+        dataset across extension rounds without mutating either operand."""
+        if not isinstance(other, LatencyDataset):
+            return NotImplemented
+        return LatencyDataset(self.samples + other.samples)
+
+    def __eq__(self, other: object) -> bool:
+        """Sample-wise equality (samples are frozen dataclasses), used by
+        the byte-identity tests around serial vs parallel campaigns."""
+        if not isinstance(other, LatencyDataset):
+            return NotImplemented
+        return self.samples == other.samples
+
     # ----------------------------- views ------------------------------ #
 
     @property

@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "paper_accuracy",
     "binwise_accuracy",
+    "failing_bins",
     "mape",
     "rmse",
     "spearman",
@@ -47,6 +48,15 @@ def binwise_accuracy(y_true, y_pred, groups: Sequence[Hashable]) -> Dict[Hashabl
         key: paper_accuracy(y_true[groups == key], y_pred[groups == key])
         for key in np.unique(groups)
     }
+
+
+def failing_bins(accuracies: Dict[Hashable, float], threshold: float) -> list:
+    """Bin labels whose accuracy misses ``threshold``, in sorted order.
+
+    The ESM loop's convergence check: an empty result means every bin
+    meets ``Acc_TH``; a non-empty one is the extension step's target list.
+    """
+    return sorted(b for b, a in accuracies.items() if float(a) < threshold)
 
 
 def mape(y_true, y_pred) -> float:

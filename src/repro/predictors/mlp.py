@@ -15,11 +15,21 @@ every seeded result downstream of it) is reproduced exactly.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
-__all__ = ["MLPPredictor"]
+from ..utils import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..archspace.spaces import SpaceSpec
+    from ..data.dataset import LatencyDataset
+
+__all__ = ["MLPPredictor", "MLP_FORMAT_VERSION"]
+
+MLP_FORMAT_VERSION = 1
 
 
 class MLPPredictor:
@@ -160,3 +170,79 @@ class MLPPredictor:
 
     def predict_one(self, x: np.ndarray) -> float:
         return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])
+
+    def fit_dataset(
+        self,
+        dataset: "LatencyDataset",
+        encoding,
+        spec: "SpaceSpec",
+    ) -> "MLPPredictor":
+        """Fit straight from a measured dataset: encode, then `fit`.
+
+        ``encoding`` is a registry name or `Encoding` instance; targets
+        are the dataset's measured latencies.
+        """
+        return self.fit(dataset.encode(encoding, spec), dataset.latencies)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise the fitted predictor to JSON, atomically.
+
+        Weights, biases, and the normalisation statistics (`fit`'s input
+        z-scoring and target scale) all round-trip exactly — JSON floats
+        use shortest-repr encoding, so `load` reproduces bit-identical
+        predictions.
+        """
+        if self._weights is None:
+            raise RuntimeError("cannot save an unfitted predictor")
+        payload = {
+            "format_version": MLP_FORMAT_VERSION,
+            "kind": "mlp",
+            "hyperparameters": {
+                "hidden_dim": self.hidden_dim,
+                "lr": self.lr,
+                "weight_decay": self.weight_decay,
+                "epochs": self.epochs,
+                "batch_size": self.batch_size,
+                "seed": self.seed,
+                "patience": self.patience,
+                "tol": self.tol,
+            },
+            "x_mean": self._x_mean.tolist(),
+            "x_std": self._x_std.tolist(),
+            "y_scale": self._y_scale,
+            "weights": [w.tolist() for w in self._weights],
+            "biases": [b.tolist() for b in self._biases],
+            "loss_history": list(self.loss_history_),
+        }
+        atomic_write_text(path, json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MLPPredictor":
+        """Restore a predictor saved by `save`; predictions are identical."""
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        version = payload.get("format_version")
+        if version != MLP_FORMAT_VERSION:
+            raise ValueError(
+                f"predictor file {path} has format_version {version!r} "
+                f"(expected {MLP_FORMAT_VERSION})"
+            )
+        if payload.get("kind") != "mlp":
+            raise ValueError(
+                f"predictor file {path} holds kind {payload.get('kind')!r}, "
+                "expected 'mlp'"
+            )
+        predictor = cls(**payload["hyperparameters"])
+        predictor._x_mean = np.asarray(payload["x_mean"], dtype=float)
+        predictor._x_std = np.asarray(payload["x_std"], dtype=float)
+        predictor._y_scale = float(payload["y_scale"])
+        predictor._weights = [
+            np.asarray(w, dtype=float) for w in payload["weights"]
+        ]
+        predictor._biases = [np.asarray(b, dtype=float) for b in payload["biases"]]
+        predictor.loss_history_ = [float(x) for x in payload["loss_history"]]
+        return predictor

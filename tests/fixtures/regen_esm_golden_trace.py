@@ -1,0 +1,59 @@
+"""Regenerate ``esm_golden_trace.json`` after an intentional change.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/regen_esm_golden_trace.py
+
+The configuration must stay identical to ``GOLDEN_CONFIG`` in
+``tests/test_core_golden.py`` — the test suite asserts the committed
+fixture was produced by exactly that config, so drift between the two is
+caught, not silently shipped.
+"""
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from repro import ESMConfig, ESMLoop
+
+GOLDEN_CONFIG = ESMConfig(
+    space="resnet",
+    device="rtx4090",
+    acc_th=82.0,
+    n_bins=5,
+    initial_size=120,
+    extension_size=30,
+    max_iterations=6,
+    runs=15,
+    n_references=2,
+    batch_size=25,
+    seed=1,
+    predictor_params={"epochs": 600},
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp) / "run"
+        result = ESMLoop(GOLDEN_CONFIG, run_dir, sleep=lambda s: None).run()
+        dataset_bytes = (run_dir / "dataset.json").read_bytes()
+    fixture = {
+        "format_version": 1,
+        "kind": "esm_golden_trace",
+        "config": GOLDEN_CONFIG.to_dict(),
+        "report": result.report.to_dict(),
+        "dataset_sha256": hashlib.sha256(dataset_bytes).hexdigest(),
+        "dataset_size": len(result.dataset),
+    }
+    out = Path(__file__).parent / "esm_golden_trace.json"
+    out.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out} (converged={result.report.converged}, "
+        f"iterations={result.report.n_iterations}, "
+        f"final size={len(result.dataset)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

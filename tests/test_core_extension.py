@@ -1,0 +1,148 @@
+"""Property tests for Algorithm 1's extension arithmetic and depth bins.
+
+`extension_weights` / `extension_plan` are pure functions, so Hypothesis
+can hammer their invariants directly: weights normalise, every failing
+bin receives at least one sample, passing bins never appear, and a fully
+passing evaluation extends nothing.  The depth-bin helpers are checked
+for the round trip the loop relies on (`assign_depth_bin` inverts
+`depth_bins` membership for every valid total depth).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BalancedSampler,
+    assign_depth_bin,
+    densenet_space,
+    depth_bins,
+    extension_plan,
+    extension_weights,
+    failing_bins,
+    resnet_space,
+)
+
+# Bin-accuracy tables: up to 12 bins, accuracies anywhere in [0, 100].
+accuracy_tables = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=11),
+    values=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+thresholds = st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+extension_sizes = st.integers(min_value=1, max_value=200)
+
+
+class TestExtensionWeights:
+    @given(accuracy_tables, thresholds)
+    def test_weights_normalise(self, accuracies, acc_th):
+        weights = extension_weights(accuracies, acc_th)
+        if weights:
+            assert sum(weights.values()) == pytest.approx(1.0)
+            assert all(w > 0 for w in weights.values())
+
+    @given(accuracy_tables, thresholds)
+    def test_weights_cover_exactly_the_failing_bins(self, accuracies, acc_th):
+        weights = extension_weights(accuracies, acc_th)
+        assert sorted(weights) == failing_bins(accuracies, acc_th)
+
+    @given(accuracy_tables, thresholds)
+    def test_larger_deficit_never_gets_less_weight(self, accuracies, acc_th):
+        weights = extension_weights(accuracies, acc_th)
+        for a, wa in weights.items():
+            for b, wb in weights.items():
+                if accuracies[a] < accuracies[b]:
+                    assert wa >= wb
+
+    def test_passing_everywhere_is_empty(self):
+        assert extension_weights({0: 95.0, 1: 92.0}, 90.0) == {}
+
+    def test_empty_accuracies_rejected(self):
+        with pytest.raises(ValueError):
+            extension_weights({}, 90.0)
+
+
+class TestExtensionPlan:
+    @given(accuracy_tables, thresholds, extension_sizes)
+    def test_failing_bins_always_receive_a_sample(
+        self, accuracies, acc_th, extension_size
+    ):
+        plan = extension_plan(accuracies, acc_th, extension_size)
+        failing = failing_bins(accuracies, acc_th)
+        assert sorted(plan) == failing
+        assert all(plan[b] >= 1 for b in failing)
+
+    @given(accuracy_tables, thresholds, extension_sizes)
+    def test_plan_total_is_exact(self, accuracies, acc_th, extension_size):
+        plan = extension_plan(accuracies, acc_th, extension_size)
+        failing = failing_bins(accuracies, acc_th)
+        if failing:
+            assert sum(plan.values()) == max(extension_size, len(failing))
+        else:
+            assert plan == {}
+
+    @given(accuracy_tables, thresholds, extension_sizes)
+    def test_plan_is_deterministic(self, accuracies, acc_th, extension_size):
+        a = extension_plan(accuracies, acc_th, extension_size)
+        b = extension_plan(dict(reversed(list(accuracies.items()))), acc_th,
+                           extension_size)
+        assert a == b
+
+    def test_passing_everywhere_yields_no_extension(self):
+        assert extension_plan({0: 99.0, 1: 90.0}, 90.0, 50) == {}
+
+    def test_invalid_extension_size_rejected(self):
+        with pytest.raises(ValueError):
+            extension_plan({0: 50.0}, 90.0, 0)
+
+    def test_known_apportionment(self):
+        # Deficits 20 and 10 -> weights 2/3 and 1/3 over 9 spare samples
+        # (after the two floors): 1+6 and 1+3.
+        plan = extension_plan({0: 70.0, 1: 80.0, 2: 95.0}, 90.0, 11)
+        assert plan == {0: 7, 1: 4}
+
+
+@pytest.mark.parametrize("make_spec", [resnet_space, densenet_space])
+class TestDepthBinRoundTrip:
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_assign_depth_bin_round_trips(self, make_spec, data):
+        spec = make_spec()
+        span = spec.max_total_depth - spec.min_total_depth + 1
+        n_bins = data.draw(st.integers(min_value=1, max_value=span))
+        bins = depth_bins(spec, n_bins)
+        depth = data.draw(
+            st.integers(spec.min_total_depth, spec.max_total_depth)
+        )
+        index = assign_depth_bin(depth, bins)
+        lo, hi = bins[index]
+        assert lo <= depth <= hi
+        # Bins partition the range: exactly one bin contains the depth.
+        assert [b for b, (l, h) in enumerate(bins) if l <= depth <= h] == [index]
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_sample_counts_lands_in_requested_bins(self, make_spec, data):
+        spec = make_spec()
+        n_bins = data.draw(st.integers(min_value=2, max_value=5))
+        sampler = BalancedSampler(spec, rng=7, n_bins=n_bins)
+        counts = data.draw(
+            st.dictionaries(
+                keys=st.integers(0, n_bins - 1),
+                values=st.integers(0, 3),
+                max_size=n_bins,
+            )
+        )
+        configs = sampler.sample_counts(counts)
+        assert len(configs) == sum(counts.values())
+        expected = [b for b in sorted(counts) for _ in range(counts[b])]
+        for config, bin_index in zip(configs, expected):
+            lo, hi = sampler.bins[bin_index]
+            assert lo <= config.total_blocks <= hi
+            assert spec.contains(config)
+
+    def test_negative_count_rejected(self, make_spec):
+        sampler = BalancedSampler(make_spec(), rng=0, n_bins=3)
+        with pytest.raises(ValueError):
+            sampler.sample_counts({0: -1})

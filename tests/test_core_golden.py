@@ -1,0 +1,138 @@
+"""Golden-trace regression test for the ESM loop (Algorithm 1).
+
+A small seeded run (ResNet space, simulated RTX 4090, reduced protocol)
+converges in three iterations; this module re-runs it and locks the
+outcome against the committed fixture ``tests/fixtures/esm_golden_trace.json``:
+
+* the per-iteration bin-accuracy trace, extension plans, and dataset
+  growth (floats compared at 1e-9 relative tolerance — BLAS summation
+  order may differ across CPU generations; every discrete decision is
+  compared exactly),
+* the measurement layer byte-for-byte: the final ``dataset.json`` must
+  hash to the committed sha256 on any platform,
+* the fixture schema itself, like the PR 1 densenet dataset lock.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/fixtures/regen_esm_golden_trace.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import ESMConfig, ESMLoop
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "esm_golden_trace.json"
+
+GOLDEN_CONFIG = ESMConfig(
+    space="resnet",
+    device="rtx4090",
+    acc_th=82.0,
+    n_bins=5,
+    initial_size=120,
+    extension_size=30,
+    max_iterations=6,
+    runs=15,
+    n_references=2,
+    batch_size=25,
+    seed=1,
+    predictor_params={"epochs": 600},
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_raw():
+    assert FIXTURE_PATH.exists(), "committed golden-trace fixture missing"
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("esm-golden") / "run"
+    result = ESMLoop(GOLDEN_CONFIG, run_dir, sleep=lambda s: None).run()
+    return result
+
+
+class TestFixtureSchema:
+    """Schema lock: the fixture's shape is part of the contract."""
+
+    def test_header(self, fixture_raw):
+        assert fixture_raw["format_version"] == 1
+        assert fixture_raw["kind"] == "esm_golden_trace"
+        assert set(fixture_raw) == {
+            "format_version",
+            "kind",
+            "config",
+            "report",
+            "dataset_sha256",
+            "dataset_size",
+        }
+
+    def test_config_matches_the_test_constant(self, fixture_raw):
+        assert ESMConfig.from_dict(fixture_raw["config"]) == GOLDEN_CONFIG
+
+    def test_report_schema(self, fixture_raw):
+        report = fixture_raw["report"]
+        assert report["format_version"] == 1
+        assert report["kind"] == "esm_run_report"
+        assert report["converged"] is True
+        for record in report["iterations"]:
+            assert set(record) == {
+                "iteration",
+                "dataset_size",
+                "train_size",
+                "test_size",
+                "bin_accuracies",
+                "failing_bins",
+                "samples_added",
+                "passed",
+            }
+
+
+class TestGoldenTrace:
+    def test_converges_within_budget(self, golden_run):
+        report = golden_run.report
+        assert report.converged
+        assert report.n_iterations <= GOLDEN_CONFIG.max_iterations
+        assert all(
+            acc >= GOLDEN_CONFIG.acc_th
+            for acc in report.final_bin_accuracies.values()
+        )
+
+    def test_trace_matches_fixture(self, golden_run, fixture_raw):
+        produced = golden_run.report.to_dict()
+        expected = fixture_raw["report"]
+        assert produced["config"] == expected["config"]
+        assert produced["bins"] == expected["bins"]
+        assert produced["converged"] == expected["converged"]
+        assert produced["final_dataset_size"] == expected["final_dataset_size"]
+        assert len(produced["iterations"]) == len(expected["iterations"])
+        for got, want in zip(produced["iterations"], expected["iterations"]):
+            # Discrete decisions are exact ...
+            for key in (
+                "iteration",
+                "dataset_size",
+                "train_size",
+                "test_size",
+                "failing_bins",
+                "samples_added",
+                "passed",
+            ):
+                assert got[key] == want[key], f"iteration {want['iteration']}: {key}"
+            # ... accuracies allow BLAS-level float drift, nothing more.
+            assert got["bin_accuracies"] == pytest.approx(
+                want["bin_accuracies"], rel=1e-9
+            )
+
+    def test_final_dataset_size_locked(self, golden_run, fixture_raw):
+        assert len(golden_run.dataset) == fixture_raw["dataset_size"]
+
+    def test_measurement_bytes_locked(self, golden_run, fixture_raw):
+        dataset_bytes = (golden_run.run_dir / "dataset.json").read_bytes()
+        assert (
+            hashlib.sha256(dataset_bytes).hexdigest()
+            == fixture_raw["dataset_sha256"]
+        )

@@ -1,0 +1,69 @@
+"""Nightly-scale ESM loop run at the paper's full protocol sizes.
+
+Marked ``slow`` and deselected from the default (tier-1) invocation via
+``pytest.ini``; CI runs it on the nightly schedule with ``-m ""``.
+Locally::
+
+    PYTHONPATH=src python -m pytest tests/test_core_slow.py -m slow
+
+Unlike the reduced golden/e2e configs, this uses runs=150 measurement
+repetitions, a 200-sample initial set, and the paper's six depth bins at
+Acc_TH = 85% — the scale Algorithm 1 is actually operated at.
+"""
+
+import pytest
+
+from repro import ESMConfig, ESMLoop, assign_depth_bin, load_run
+
+FULL_CONFIG = ESMConfig(
+    space="resnet",
+    device="rtx4090",
+    acc_th=85.0,
+    n_bins=6,
+    initial_size=200,
+    extension_size=40,
+    max_iterations=8,
+    runs=150,
+    n_references=3,
+    batch_size=25,
+    seed=0,
+    predictor_params={"epochs": 900},
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def full_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("esm-full") / "run"
+    return ESMLoop(FULL_CONFIG, run_dir, sleep=lambda s: None).run()
+
+
+class TestFullProtocol:
+    def test_converges_within_budget(self, full_run):
+        report = full_run.report
+        assert report.converged
+        assert report.n_iterations <= FULL_CONFIG.max_iterations
+
+    def test_every_bin_meets_the_threshold(self, full_run):
+        final = full_run.report.final_bin_accuracies
+        assert sorted(final) == list(range(FULL_CONFIG.n_bins))
+        assert all(acc >= FULL_CONFIG.acc_th for acc in final.values())
+
+    def test_extensions_targeted_failing_bins_only(self, full_run):
+        for record in full_run.report.iterations:
+            assert set(record.samples_added) <= set(record.failing_bins)
+
+    def test_dataset_covers_every_depth_bin(self, full_run):
+        bins = full_run.report.bins
+        seen = {
+            assign_depth_bin(s.config.total_blocks, bins)
+            for s in full_run.dataset
+        }
+        assert seen == set(range(FULL_CONFIG.n_bins))
+
+    def test_artifacts_reload_at_full_scale(self, full_run):
+        loaded = load_run(full_run.run_dir)
+        assert loaded.converged
+        assert loaded.report.to_dict() == full_run.report.to_dict()
+        assert len(loaded.dataset) == full_run.report.final_dataset_size

@@ -140,3 +140,67 @@ class TestMLPEarlyStopping:
             MLPPredictor(patience=0)
         with pytest.raises(ValueError):
             MLPPredictor(tol=-1e-3)
+
+
+class TestMLPPersistence:
+    """save/load must reproduce the fitted predictor bit for bit."""
+
+    def fitted(self, seed=0):
+        X, y = _linear_toy(seed=seed)
+        return X, y, MLPPredictor(epochs=60, seed=seed).fit(X, y)
+
+    def test_round_trip_predictions_identical(self, tmp_path):
+        X, y, mlp = self.fitted()
+        path = tmp_path / "mlp.json"
+        mlp.save(path)
+        clone = MLPPredictor.load(path)
+        # Bit-identical, not approximately equal: weights and the
+        # normalisation stats all survive JSON's shortest-repr floats.
+        np.testing.assert_array_equal(clone.predict(X), mlp.predict(X))
+        X_new = np.random.default_rng(99).normal(size=(32, X.shape[1]))
+        np.testing.assert_array_equal(clone.predict(X_new), mlp.predict(X_new))
+
+    def test_round_trip_preserves_state(self, tmp_path):
+        _, _, mlp = self.fitted(seed=2)
+        mlp.save(tmp_path / "mlp.json")
+        clone = MLPPredictor.load(tmp_path / "mlp.json")
+        assert clone.hidden_dim == mlp.hidden_dim
+        assert clone.seed == mlp.seed
+        assert clone.loss_history_ == mlp.loss_history_
+        for a, b in zip(clone._weights, mlp._weights):
+            np.testing.assert_array_equal(a, b)
+
+    def test_save_twice_is_deterministic(self, tmp_path):
+        _, _, mlp = self.fitted()
+        mlp.save(tmp_path / "a.json")
+        mlp.save(tmp_path / "b.json")
+        assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            MLPPredictor().save(tmp_path / "mlp.json")
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        import json
+
+        bad_version = tmp_path / "v.json"
+        bad_version.write_text(json.dumps({"format_version": 99, "kind": "mlp"}))
+        with pytest.raises(ValueError, match="format_version"):
+            MLPPredictor.load(bad_version)
+        bad_kind = tmp_path / "k.json"
+        bad_kind.write_text(json.dumps({"format_version": 1, "kind": "lut"}))
+        with pytest.raises(ValueError, match="kind"):
+            MLPPredictor.load(bad_kind)
+
+    def test_fit_dataset_convenience(self, small_resnet_dataset, resnet_spec):
+        direct = MLPPredictor(epochs=40, seed=0).fit(
+            small_resnet_dataset.encode("fcc", resnet_spec),
+            small_resnet_dataset.latencies,
+        )
+        via_dataset = MLPPredictor(epochs=40, seed=0).fit_dataset(
+            small_resnet_dataset, "fcc", resnet_spec
+        )
+        X = small_resnet_dataset.encode("fcc", resnet_spec)
+        np.testing.assert_array_equal(
+            via_dataset.predict(X), direct.predict(X)
+        )

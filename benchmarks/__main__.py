@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import bench_campaign, bench_encode, bench_esm_loop, bench_measure
+from . import bench_campaign, bench_encode, bench_esm_loop, bench_measure, bench_nas
 from .common import RESULTS_DIR, summarize
 
 BENCHES = {
@@ -19,6 +19,7 @@ BENCHES = {
     "campaign": bench_campaign.run,
     "encode": bench_encode.run,
     "esm_loop": bench_esm_loop.run,
+    "nas": bench_nas.run,
 }
 
 

@@ -1,0 +1,91 @@
+"""Wall clock of the NAS search drivers over the simulated device.
+
+Times a seeded `EvolutionarySearch` (NSGA-II selection, block-level
+variation, true latency from the simulated RTX 4090, synthetic accuracy
+proxy) against a `RandomSearch` given the *same evaluation budget*, and
+reports per-evaluation cost plus the quality gap: the hypervolume of the
+evolutionary front over the random front's, measured against a shared
+reference point.  The second evolutionary run re-uses the device's warm
+analytical cache, which is the cost profile the experiments CLI sees.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .common import write_result
+
+FAMILY = "resnet"
+DEVICE = "rtx4090"
+SEED = 3
+
+
+def _budgets(smoke: bool):
+    if smoke:
+        return {"population_size": 8, "generations": 3}
+    return {"population_size": 32, "generations": 12}
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import (
+        DeviceOracle,
+        EvolutionarySearch,
+        RandomSearch,
+        SimulatedDevice,
+        SyntheticAccuracyProxy,
+        space_by_name,
+    )
+
+    spec = space_by_name(FAMILY)
+    device = SimulatedDevice(DEVICE, seed=SEED)
+    oracle = DeviceOracle(device)
+    proxy = SyntheticAccuracyProxy(spec, seed=SEED)
+    budgets = _budgets(smoke)
+    budget = budgets["population_size"] * (budgets["generations"] + 1)
+
+    t0 = time.perf_counter()
+    evo = EvolutionarySearch(spec, oracle, proxy, seed=SEED, **budgets).run()
+    evo_wall_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rand = RandomSearch(spec, oracle, proxy, budget=budget, seed=SEED).run()
+    rand_wall_s = time.perf_counter() - t0
+
+    # Shared reference: strictly worse than anything either search saw.
+    worst_latency = 1.1 * max(c.latency_s for c in evo.evaluated + rand.evaluated)
+    ref_accuracy = proxy.floor - 1.0
+    hv_evo = evo.front.hypervolume(worst_latency, ref_accuracy)
+    hv_rand = rand.front.hypervolume(worst_latency, ref_accuracy)
+
+    # Warm-cache repeat: the resume-style cost once latencies are cached.
+    t0 = time.perf_counter()
+    rerun = EvolutionarySearch(spec, oracle, proxy, seed=SEED, **budgets).run()
+    warm_wall_s = time.perf_counter() - t0
+
+    cache_info = getattr(device, "cache_info", lambda: None)()
+    return write_result(
+        "nas",
+        params={
+            "family": FAMILY,
+            "device": DEVICE,
+            "budget": budget,
+            **budgets,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        wall_s=evo_wall_s,
+        per_item_us=evo_wall_s / budget * 1e6,
+        cache_hit_rate=None if cache_info is None else cache_info.hit_rate,
+        out_dir=out_dir,
+        random_wall_s=round(rand_wall_s, 6),
+        warm_wall_s=round(warm_wall_s, 6),
+        front_size_evolutionary=len(evo.front),
+        front_size_random=len(rand.front),
+        hypervolume_evolutionary=round(hv_evo, 6),
+        hypervolume_random=round(hv_rand, 6),
+        hypervolume_ratio=round(hv_evo / hv_rand, 4) if hv_rand else None,
+        bit_identical=(
+            [c.to_dict() for c in rerun.population]
+            == [c.to_dict() for c in evo.population]
+        ),
+    )

@@ -1,6 +1,7 @@
-"""Architecture spaces (Table I), configurations, and samplers."""
+"""Architecture spaces (Table I), configurations, samplers, and operators."""
 
 from .config import ArchConfig, BlockConfig
+from .ops import crossover, mutate
 from .sampling import (
     BalancedSampler,
     RandomSampler,
@@ -29,4 +30,6 @@ __all__ = [
     "BalancedSampler",
     "depth_bins",
     "assign_depth_bin",
+    "mutate",
+    "crossover",
 ]

@@ -82,6 +82,31 @@ class ESMRunResult:
     def converged(self) -> bool:
         return self.report.converged
 
+    def latency_oracle(self, spec: Optional[SpaceSpec] = None):
+        """This run's surrogate as a search-facing `PredictorOracle`.
+
+        The loop -> search hand-off: the report's config names the encoding
+        and space the predictor was trained under, so a NAS driver can
+        consume a finished run without re-stating either.  Pass ``spec``
+        when the run used an explicit (non-registry) space.
+        """
+        from ..predictors.oracle import PredictorOracle
+
+        if self.predictor is None:
+            raise ValueError(
+                "run has no predictor (not trained, or loaded from a run "
+                "whose predictor type does not persist)"
+            )
+        config = self.report.config
+        if spec is None:
+            spec = space_by_name(config["space"])
+        return PredictorOracle(
+            self.predictor,
+            config["encoding"],
+            spec,
+            name=f"{config['predictor']}+{config['encoding']}",
+        )
+
 
 class ESMLoop:
     """Drive train -> evaluate -> extend -> retrain to bin convergence.

@@ -18,6 +18,7 @@ __all__ = [
     "mape",
     "rmse",
     "spearman",
+    "kendall_tau",
 ]
 
 
@@ -94,3 +95,25 @@ def spearman(y_true, y_pred) -> float:
     if denom == 0:
         return 0.0
     return float((r_true * r_pred).sum() / denom)
+
+
+def kendall_tau(y_true, y_pred) -> float:
+    """Kendall rank correlation (tau-b: concordant pairs, tie-corrected).
+
+    The ranking-preservation criterion the NAS layer reports per encoding:
+    a surrogate with high tau orders architectures the way true latency
+    does, which is what a search actually consumes (Lu et al.).  Degenerate
+    inputs (all ties on either side) score 0.0.
+    """
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    d_true = np.sign(y_true[:, None] - y_true[None, :])
+    d_pred = np.sign(y_pred[:, None] - y_pred[None, :])
+    upper = np.triu_indices(y_true.size, k=1)
+    s = float((d_true[upper] * d_pred[upper]).sum())
+    n0 = upper[0].size
+    ties_true = n0 - int(np.count_nonzero(d_true[upper]))
+    ties_pred = n0 - int(np.count_nonzero(d_pred[upper]))
+    denom = np.sqrt(float(n0 - ties_true) * float(n0 - ties_pred))
+    if denom == 0:
+        return 0.0
+    return float(s / denom)

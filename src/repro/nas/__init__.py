@@ -1,0 +1,33 @@
+"""Surrogate-driven NAS: accuracy proxy, Pareto analysis, search drivers.
+
+The consumer layer the ESM pipeline exists for: take a latency oracle (a
+fitted surrogate via `PredictorOracle`, or the device itself), pair it
+with the deterministic `SyntheticAccuracyProxy`, run `RandomSearch` /
+`EvolutionarySearch`, and quantify how far the surrogate displaced the
+Pareto front (`displacement_metrics`, Fig. 2b).  The experiments entry
+point (``python -m repro.nas.experiments``) wires the whole chain through
+`ESMLoop`-trained surrogates for every encoding.
+"""
+
+from .pareto import (
+    ParetoFront,
+    ParetoPoint,
+    crowding_distance,
+    displacement_metrics,
+    non_dominated_rank,
+)
+from .proxy import SyntheticAccuracyProxy
+from .search import Candidate, EvolutionarySearch, RandomSearch, SearchResult
+
+__all__ = [
+    "SyntheticAccuracyProxy",
+    "ParetoPoint",
+    "ParetoFront",
+    "non_dominated_rank",
+    "crowding_distance",
+    "displacement_metrics",
+    "Candidate",
+    "SearchResult",
+    "RandomSearch",
+    "EvolutionarySearch",
+]

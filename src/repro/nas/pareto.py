@@ -1,0 +1,258 @@
+"""Pareto fronts over (latency, accuracy) and front-displacement metrics.
+
+The objective convention everywhere in this module: **minimize** latency,
+**maximize** accuracy.  `ParetoFront.from_points` performs the
+non-dominated filter and canonicalises the result (sorted by latency,
+exact duplicates collapsed), so two fronts built from permutations of the
+same points compare equal.
+
+`displacement_metrics` quantifies Fig. 2(b): how far the front a search
+found *under a surrogate* (re-evaluated at true latencies) sits from the
+front the same search finds under true latency.  It reports generational
+distance (found → true), inverted generational distance (true → found),
+their mean as the headline ``displacement`` scalar, front Jaccard overlap
+on architecture identity, and the hypervolume deficit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+
+__all__ = [
+    "ParetoPoint",
+    "ParetoFront",
+    "non_dominated_rank",
+    "crowding_distance",
+    "displacement_metrics",
+]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate in objective space, optionally carrying its config."""
+
+    latency_s: float
+    accuracy: float
+    config: Optional[ArchConfig] = None
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better in both objectives, strictly better in one."""
+        return (
+            self.latency_s <= other.latency_s
+            and self.accuracy >= other.accuracy
+            and (
+                self.latency_s < other.latency_s
+                or self.accuracy > other.accuracy
+            )
+        )
+
+    def identity(self) -> Tuple:
+        """What makes two points "the same architecture" for set overlap."""
+        if self.config is not None:
+            return self.config.cache_key()
+        return (self.latency_s, self.accuracy)
+
+    def _sort_key(self) -> Tuple:
+        return (self.latency_s, -self.accuracy, repr(self.identity()))
+
+
+class ParetoFront:
+    """A canonical non-dominated set; build via `from_points`."""
+
+    def __init__(self, points: Sequence[ParetoPoint]):
+        self._points: Tuple[ParetoPoint, ...] = tuple(points)
+
+    @classmethod
+    def from_points(cls, points: Sequence[ParetoPoint]) -> "ParetoFront":
+        """Non-dominated filter + canonical order (permutation invariant).
+
+        Exact duplicates (same objectives *and* same architecture
+        identity) collapse to one survivor; distinct architectures that
+        tie on both objectives are all kept — neither dominates the other.
+        """
+        unique: Dict[Tuple, ParetoPoint] = {}
+        for p in points:
+            unique.setdefault((p.latency_s, p.accuracy, repr(p.identity())), p)
+        candidates = list(unique.values())
+        front = [
+            p
+            for p in candidates
+            if not any(q.dominates(p) for q in candidates)
+        ]
+        front.sort(key=ParetoPoint._sort_key)
+        return cls(front)
+
+    # ----------------------------- container -------------------------- #
+
+    @property
+    def points(self) -> Tuple[ParetoPoint, ...]:
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParetoFront):
+            return NotImplemented
+        return [
+            (p.latency_s, p.accuracy, p.identity()) for p in self._points
+        ] == [(p.latency_s, p.accuracy, p.identity()) for p in other._points]
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([p.latency_s for p in self._points])
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        return np.array([p.accuracy for p in self._points])
+
+    def identities(self) -> set:
+        return {repr(p.identity()) for p in self._points}
+
+    # ------------------------------ metrics --------------------------- #
+
+    def hypervolume(self, ref_latency: float, ref_accuracy: float) -> float:
+        """Area dominated between the front and the reference point.
+
+        The reference must be weakly worse than every point (slower, less
+        accurate); contributions are clipped at zero so a slightly-tight
+        reference degrades gracefully rather than going negative.
+        """
+        if not self._points:
+            return 0.0
+        order = np.argsort(self.latencies, kind="stable")
+        lat = self.latencies[order]
+        acc = self.accuracies[order]
+        volume = 0.0
+        prev_acc = ref_accuracy
+        # Ascending latency on a front means ascending accuracy: each
+        # point adds the accuracy strip it newly dominates.
+        for l, a in zip(lat, acc):
+            volume += max(0.0, a - prev_acc) * max(0.0, ref_latency - l)
+            prev_acc = max(prev_acc, a)
+        return float(volume)
+
+    def to_dict(self) -> dict:
+        return {
+            "size": len(self._points),
+            "points": [
+                [float(p.latency_s), float(p.accuracy)] for p in self._points
+            ],
+        }
+
+
+def non_dominated_rank(points: Sequence[ParetoPoint]) -> np.ndarray:
+    """Front index per point (0 = Pareto front), by iterative peeling."""
+    n = len(points)
+    ranks = np.full(n, -1, dtype=int)
+    remaining = list(range(n))
+    rank = 0
+    while remaining:
+        front = [
+            i
+            for i in remaining
+            if not any(points[j].dominates(points[i]) for j in remaining)
+        ]
+        for i in front:
+            ranks[i] = rank
+        remaining = [i for i in remaining if ranks[i] == -1]
+        rank += 1
+    return ranks
+
+
+def crowding_distance(points: Sequence[ParetoPoint]) -> np.ndarray:
+    """NSGA-II crowding distance within one rank (boundaries infinite)."""
+    n = len(points)
+    if n == 0:
+        return np.array([])
+    distance = np.zeros(n)
+    for values in (
+        np.array([p.latency_s for p in points]),
+        np.array([p.accuracy for p in points]),
+    ):
+        order = np.argsort(values, kind="stable")
+        span = values[order[-1]] - values[order[0]]
+        distance[order[0]] = distance[order[-1]] = np.inf
+        if span > 0 and n > 2:
+            distance[order[1:-1]] += (
+                values[order[2:]] - values[order[:-2]]
+            ) / span
+    return distance
+
+
+def _normalised_distances(
+    from_points: Sequence[ParetoPoint],
+    to_points: Sequence[ParetoPoint],
+    lat_scale: float,
+    acc_scale: float,
+) -> float:
+    """Mean distance from each source point to its nearest target point."""
+    to_lat = np.array([p.latency_s for p in to_points]) / lat_scale
+    to_acc = np.array([p.accuracy for p in to_points]) / acc_scale
+    total = 0.0
+    for p in from_points:
+        d = np.hypot(
+            p.latency_s / lat_scale - to_lat, p.accuracy / acc_scale - to_acc
+        )
+        total += float(d.min())
+    return total / len(from_points)
+
+
+def displacement_metrics(
+    true_front: ParetoFront, found_front: ParetoFront
+) -> Dict[str, float]:
+    """Fig. 2(b) made quantitative: how displaced is ``found_front``?
+
+    Both fronts must be in *true* objective coordinates — the caller
+    re-evaluates surrogate-found architectures on the device before
+    calling this.  Distances are normalised by the true front's objective
+    ranges (falling back to its scale when degenerate), and the
+    hypervolume reference point is padded 10% beyond the union's worst
+    corner so every point contributes area.
+    """
+    if len(true_front) == 0 or len(found_front) == 0:
+        raise ValueError("displacement needs two non-empty fronts")
+    lat_t, acc_t = true_front.latencies, true_front.accuracies
+    lat_scale = float(np.ptp(lat_t)) or float(np.abs(lat_t).max()) or 1.0
+    acc_scale = float(np.ptp(acc_t)) or float(np.abs(acc_t).max()) or 1.0
+
+    gd = _normalised_distances(
+        found_front.points, true_front.points, lat_scale, acc_scale
+    )
+    igd = _normalised_distances(
+        true_front.points, found_front.points, lat_scale, acc_scale
+    )
+
+    union_lat = np.concatenate([lat_t, found_front.latencies])
+    union_acc = np.concatenate([acc_t, found_front.accuracies])
+    ref_latency = float(union_lat.max() + 0.1 * (np.ptp(union_lat) or union_lat.max()))
+    ref_accuracy = float(union_acc.min() - 0.1 * (np.ptp(union_acc) or 1.0))
+    hv_true = true_front.hypervolume(ref_latency, ref_accuracy)
+    hv_found = found_front.hypervolume(ref_latency, ref_accuracy)
+
+    ids_true, ids_found = true_front.identities(), found_front.identities()
+    jaccard = (
+        len(ids_true & ids_found) / len(ids_true | ids_found)
+        if ids_true | ids_found
+        else 1.0
+    )
+    return {
+        "gd": float(gd),
+        "igd": float(igd),
+        "displacement": float(0.5 * (gd + igd)),
+        "jaccard": float(jaccard),
+        "hypervolume_true": float(hv_true),
+        "hypervolume_found": float(hv_found),
+        "hypervolume_deficit": (
+            float(max(0.0, hv_true - hv_found) / hv_true) if hv_true > 0 else 0.0
+        ),
+        "front_size": float(len(found_front)),
+    }

@@ -1,0 +1,109 @@
+"""Deterministic synthetic accuracy proxy over architecture configs.
+
+No trained supernets exist in this reproduction (DESIGN.md §2), so the
+accuracy axis of the NAS objective is a synthetic stand-in with the
+structural properties the Fig. 2 analysis needs:
+
+* **monotone-ish capacity curve** — a block's contribution grows with
+  kernel size and expansion ratio (``log1p(k² · e)``), summed over all
+  blocks and pushed through a saturating exponential, so deeper / wider /
+  larger-kernel models are more accurate but with diminishing returns.
+  Latency grows in the same direction, which is exactly what makes the
+  accuracy–latency Pareto front a genuine trade-off curve.
+* **seeded per-config noise** — a bounded uniform offset derived from a
+  SHA-256 of ``(seed, config)``, so the proxy is a pure function of its
+  inputs: process-stable, hashable-state-free, byte-reproducible.  The
+  noise keeps the front non-trivial (capacity alone would make it a
+  smooth curve every search finds immediately).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..archspace.spaces import SpaceSpec
+
+__all__ = ["SyntheticAccuracyProxy"]
+
+
+def _block_capacity(kernel_size: int, expand_ratio: Optional[float]) -> float:
+    expand = 1.0 if expand_ratio is None else float(expand_ratio)
+    return float(np.log1p(kernel_size * kernel_size * expand))
+
+
+class SyntheticAccuracyProxy:
+    """Top-1-style accuracy (percent) as a pure function of the config."""
+
+    name = "synthetic-top1"
+
+    def __init__(
+        self,
+        spec: SpaceSpec,
+        *,
+        seed: int = 0,
+        floor: float = 88.0,
+        ceiling: float = 95.5,
+        noise_pp: float = 0.15,
+        curvature: float = 3.0,
+    ):
+        """``floor``/``ceiling`` bound the noise-free curve; ``noise_pp``
+        is the half-width (percentage points) of the per-config uniform
+        offset; ``curvature`` shapes the saturation (higher = earlier)."""
+        if ceiling <= floor:
+            raise ValueError("ceiling must exceed floor")
+        if noise_pp < 0:
+            raise ValueError("noise_pp must be >= 0")
+        if curvature <= 0:
+            raise ValueError("curvature must be > 0")
+        self.spec = spec
+        self.seed = int(seed)
+        self.floor = float(floor)
+        self.ceiling = float(ceiling)
+        self.noise_pp = float(noise_pp)
+        self.curvature = float(curvature)
+        expands = spec.expand_choices or (None,)
+        self._max_capacity = (
+            spec.num_units
+            * spec.max_depth
+            * max(_block_capacity(k, e) for k in spec.kernel_choices for e in expands)
+        )
+
+    def capacity(self, config: ArchConfig) -> float:
+        """Raw capacity score: summed per-block ``log1p(k² · e)``."""
+        return sum(
+            _block_capacity(b.kernel_size, b.expand_ratio)
+            for _, b in config.iter_blocks()
+        )
+
+    def _noise(self, config: ArchConfig) -> float:
+        payload = json.dumps(
+            [self.seed, self.name, config.to_dict()],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).digest()
+        # 8 bytes -> uniform in [0, 1): stable across platforms/processes,
+        # unlike Python's salted hash().
+        unit = int.from_bytes(digest[:8], "little") / 2**64
+        return (2.0 * unit - 1.0) * self.noise_pp
+
+    def accuracy(self, config: ArchConfig) -> float:
+        """Synthetic accuracy in percent, bounded-noise monotone-ish."""
+        if not self.spec.contains(config):
+            raise ValueError(
+                f"config is not a member of the {self.spec.family} space"
+            )
+        utilisation = self.capacity(config) / self._max_capacity
+        saturating = (1.0 - np.exp(-self.curvature * utilisation)) / (
+            1.0 - np.exp(-self.curvature)
+        )
+        base = self.floor + (self.ceiling - self.floor) * saturating
+        return float(base + self._noise(config))
+
+    def accuracy_batch(self, configs: Sequence[ArchConfig]) -> np.ndarray:
+        return np.array([self.accuracy(c) for c in configs], dtype=float)

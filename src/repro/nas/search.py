@@ -1,0 +1,238 @@
+"""Search drivers over an architecture space: random and evolutionary.
+
+Both drivers optimise the bi-objective (minimize oracle latency, maximize
+proxy accuracy) and accept *any* `LatencyOracle` — a fitted surrogate via
+`PredictorOracle` or the device itself via `DeviceOracle` — which is the
+whole point of the Fig. 2(b) analysis: run the identical seeded search
+under both oracles and measure how far the surrogate displaced the front.
+
+`EvolutionarySearch` is an NSGA-II-style loop: binary tournaments on
+(non-domination rank, crowding distance), unit-wise crossover and
+block-level mutation from `repro.archspace.ops`, and elitist environmental
+selection over parents + children.  Every random draw flows through
+generators derived from ``(seed, slot, generation)``, so a seeded run
+reproduces its population trajectory exactly — the golden-trace test
+locks one such trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..archspace.config import ArchConfig
+from ..archspace.ops import crossover, mutate
+from ..archspace.sampling import RandomSampler
+from ..archspace.spaces import SpaceSpec
+from .pareto import ParetoFront, ParetoPoint, crowding_distance, non_dominated_rank
+from .proxy import SyntheticAccuracyProxy
+
+__all__ = ["Candidate", "SearchResult", "RandomSearch", "EvolutionarySearch"]
+
+# RNG slots, disjoint from the ESM loop's (see repro.core.loop).
+_SLOT_INIT = 211
+_SLOT_SELECT = 223
+_SLOT_VARY = 227
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """An evaluated architecture: oracle latency plus proxy accuracy."""
+
+    config: ArchConfig
+    latency_s: float
+    accuracy: float
+
+    def point(self) -> ParetoPoint:
+        return ParetoPoint(self.latency_s, self.accuracy, self.config)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "latency_s": self.latency_s,
+            "accuracy": self.accuracy,
+        }
+
+
+@dataclass
+class SearchResult:
+    """Everything a search evaluated, its final population, and the front."""
+
+    evaluated: List[Candidate]
+    population: List[Candidate]
+    front: ParetoFront
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.evaluated)
+
+    @property
+    def front_configs(self) -> List[ArchConfig]:
+        return [p.config for p in self.front if p.config is not None]
+
+
+class _SearchBase:
+    def __init__(self, spec: SpaceSpec, oracle, proxy: SyntheticAccuracyProxy):
+        if proxy.spec.family != spec.family:
+            raise ValueError("proxy and search must target the same space")
+        self.spec = spec
+        self.oracle = oracle
+        self.proxy = proxy
+
+    def _evaluate(self, configs: Sequence[ArchConfig]) -> List[Candidate]:
+        latencies = self.oracle.latency_batch(list(configs))
+        accuracies = self.proxy.accuracy_batch(list(configs))
+        return [
+            Candidate(config=c, latency_s=float(l), accuracy=float(a))
+            for c, l, a in zip(configs, latencies, accuracies)
+        ]
+
+    @staticmethod
+    def _front_of(candidates: Sequence[Candidate]) -> ParetoFront:
+        return ParetoFront.from_points([c.point() for c in candidates])
+
+
+class RandomSearch(_SearchBase):
+    """Uniform sampling under a fixed evaluation budget."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        spec: SpaceSpec,
+        oracle,
+        proxy: SyntheticAccuracyProxy,
+        *,
+        budget: int = 128,
+        seed: int = 0,
+    ):
+        super().__init__(spec, oracle, proxy)
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = int(budget)
+        self.seed = int(seed)
+
+    def run(self) -> SearchResult:
+        sampler = RandomSampler(
+            self.spec, rng=np.random.default_rng([self.seed, _SLOT_INIT])
+        )
+        evaluated = self._evaluate(sampler.sample_batch(self.budget))
+        return SearchResult(
+            evaluated=evaluated,
+            population=list(evaluated),
+            front=self._front_of(evaluated),
+        )
+
+
+class EvolutionarySearch(_SearchBase):
+    """NSGA-II-style multi-objective evolutionary search."""
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        spec: SpaceSpec,
+        oracle,
+        proxy: SyntheticAccuracyProxy,
+        *,
+        population_size: int = 24,
+        generations: int = 10,
+        tournament_size: int = 2,
+        crossover_prob: float = 0.9,
+        p_depth: float = 0.25,
+        p_block: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__(spec, oracle, proxy)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+        if not 0.0 <= crossover_prob <= 1.0:
+            raise ValueError("crossover_prob must be in [0, 1]")
+        self.population_size = int(population_size)
+        self.generations = int(generations)
+        self.tournament_size = int(tournament_size)
+        self.crossover_prob = float(crossover_prob)
+        self.p_depth = float(p_depth)
+        self.p_block = float(p_block)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _rank_and_crowding(
+        candidates: Sequence[Candidate],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        points = [c.point() for c in candidates]
+        ranks = non_dominated_rank(points)
+        crowding = np.zeros(len(points))
+        for rank in np.unique(ranks):
+            idx = np.flatnonzero(ranks == rank)
+            crowding[idx] = crowding_distance([points[i] for i in idx])
+        return ranks, crowding
+
+    def _tournament(
+        self,
+        rng: np.random.Generator,
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+    ) -> int:
+        entrants = rng.integers(len(ranks), size=self.tournament_size)
+        # Lower rank wins; within a rank, the less crowded point wins;
+        # the earliest index breaks exact ties deterministically.
+        return int(min(entrants, key=lambda i: (ranks[i], -crowding[i], i)))
+
+    def _select_survivors(
+        self, candidates: List[Candidate]
+    ) -> List[Candidate]:
+        ranks, crowding = self._rank_and_crowding(candidates)
+        order = sorted(
+            range(len(candidates)), key=lambda i: (ranks[i], -crowding[i], i)
+        )
+        return [candidates[i] for i in order[: self.population_size]]
+
+    def run(self) -> SearchResult:
+        sampler = RandomSampler(
+            self.spec, rng=np.random.default_rng([self.seed, _SLOT_INIT])
+        )
+        population = self._evaluate(sampler.sample_batch(self.population_size))
+        evaluated: List[Candidate] = list(population)
+
+        for generation in range(1, self.generations + 1):
+            rng_sel = np.random.default_rng([self.seed, _SLOT_SELECT, generation])
+            rng_var = np.random.default_rng([self.seed, _SLOT_VARY, generation])
+            ranks, crowding = self._rank_and_crowding(population)
+
+            children: List[ArchConfig] = []
+            while len(children) < self.population_size:
+                a = population[self._tournament(rng_sel, ranks, crowding)]
+                b = population[self._tournament(rng_sel, ranks, crowding)]
+                if rng_var.random() < self.crossover_prob:
+                    first, second = crossover(a.config, b.config, self.spec, rng_var)
+                else:
+                    first, second = a.config, b.config
+                for child in (first, second):
+                    if len(children) < self.population_size:
+                        children.append(
+                            mutate(
+                                child,
+                                self.spec,
+                                rng_var,
+                                p_depth=self.p_depth,
+                                p_block=self.p_block,
+                            )
+                        )
+            offspring = self._evaluate(children)
+            evaluated.extend(offspring)
+            population = self._select_survivors(population + offspring)
+
+        return SearchResult(
+            evaluated=evaluated,
+            population=population,
+            front=self._front_of(evaluated),
+        )

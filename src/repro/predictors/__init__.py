@@ -1,9 +1,10 @@
-"""Latency predictors and their registry."""
+"""Latency predictors, their registry, and the search-facing oracle protocol."""
 
 from typing import Callable, Dict, Tuple
 
 from .lut import LookupTableSurrogate
 from .mlp import MLPPredictor
+from .oracle import DeviceOracle, LatencyOracle, PredictorOracle
 
 __all__ = [
     "MLPPredictor",
@@ -11,6 +12,9 @@ __all__ = [
     "PREDICTORS",
     "get_predictor",
     "list_predictors",
+    "LatencyOracle",
+    "PredictorOracle",
+    "DeviceOracle",
 ]
 
 PREDICTORS: Dict[str, Callable] = {

@@ -1,0 +1,85 @@
+"""The latency-oracle protocol: one query interface for search drivers.
+
+A NAS search does not care whether latency comes from a fitted surrogate
+or from the device itself — it only ranks candidates.  `LatencyOracle` is
+that contract (``latency`` / ``latency_batch`` over `ArchConfig`), with
+two adapters:
+
+* `PredictorOracle` — a fitted predictor behind an encoding and space
+  spec: encode the batch, predict.  This is how a finished `ESMLoop` run
+  is handed to a search (`ESMRunResult.latency_oracle`).
+* `DeviceOracle` — the simulator's noise-free analytical latency, the
+  ground truth a surrogate-driven search is measured against (memoized
+  per config by the device's LRU cache).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..archspace.config import ArchConfig
+    from ..archspace.spaces import SpaceSpec
+    from ..encodings import Encoding
+
+__all__ = ["LatencyOracle", "PredictorOracle", "DeviceOracle"]
+
+
+class LatencyOracle(Protocol):
+    """Anything a search driver can query for candidate latencies."""
+
+    name: str
+
+    def latency(self, config: "ArchConfig") -> float:
+        """Latency of one architecture, in seconds."""
+
+    def latency_batch(self, configs: Sequence["ArchConfig"]) -> np.ndarray:
+        """Latencies of a batch of architectures, order-preserving."""
+
+
+class PredictorOracle:
+    """A fitted predictor + encoding + space spec, queried per config."""
+
+    def __init__(
+        self,
+        predictor,
+        encoding: Union[str, "Encoding"],
+        spec: "SpaceSpec",
+        name: Optional[str] = None,
+    ):
+        from ..encodings import get_encoding
+
+        self.predictor = predictor
+        self.encoding = (
+            get_encoding(encoding) if isinstance(encoding, str) else encoding
+        )
+        self.spec = spec
+        self.name = name if name is not None else f"surrogate:{self.encoding.name}"
+
+    def latency_batch(self, configs: Sequence["ArchConfig"]) -> np.ndarray:
+        X = self.encoding.encode_batch(list(configs), self.spec)
+        return np.asarray(self.predictor.predict(X), dtype=float).reshape(-1)
+
+    def latency(self, config: "ArchConfig") -> float:
+        return float(self.latency_batch([config])[0])
+
+
+class DeviceOracle:
+    """True analytical latency of a `SimulatedDevice` (or compatible)."""
+
+    def __init__(self, device, name: Optional[str] = None):
+        self.device = device
+        if name is None:
+            profile = getattr(device, "profile", None)
+            name = f"true:{getattr(profile, 'name', 'device')}"
+        self.name = name
+
+    def latency_batch(self, configs: Sequence["ArchConfig"]) -> np.ndarray:
+        return np.array(
+            [self.device.true_latency(c) for c in configs], dtype=float
+        )
+
+    def latency(self, config: "ArchConfig") -> float:
+        return float(self.device.true_latency(config))

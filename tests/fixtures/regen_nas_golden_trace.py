@@ -1,0 +1,79 @@
+"""Regenerate ``nas_golden_trace.json`` after an intentional change.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/regen_nas_golden_trace.py
+
+The search parameters must stay identical to ``GOLDEN_PARAMS`` in
+``tests/test_nas_golden.py`` — the test suite asserts the committed
+fixture was produced by exactly those parameters, so drift between the
+two is caught, not silently shipped.
+"""
+
+import json
+from pathlib import Path
+
+from repro import (
+    DeviceOracle,
+    EvolutionarySearch,
+    SimulatedDevice,
+    SyntheticAccuracyProxy,
+    space_by_name,
+)
+
+GOLDEN_PARAMS = {
+    "space": "resnet",
+    "device": "rtx4090",
+    "device_seed": 0,
+    "proxy_seed": 0,
+    "population_size": 10,
+    "generations": 4,
+    "tournament_size": 2,
+    "crossover_prob": 0.9,
+    "p_depth": 0.25,
+    "p_block": 0.2,
+    "seed": 7,
+}
+
+
+def run_golden_search():
+    spec = space_by_name(GOLDEN_PARAMS["space"])
+    device = SimulatedDevice(
+        GOLDEN_PARAMS["device"], seed=GOLDEN_PARAMS["device_seed"]
+    )
+    proxy = SyntheticAccuracyProxy(spec, seed=GOLDEN_PARAMS["proxy_seed"])
+    search = EvolutionarySearch(
+        spec,
+        DeviceOracle(device),
+        proxy,
+        population_size=GOLDEN_PARAMS["population_size"],
+        generations=GOLDEN_PARAMS["generations"],
+        tournament_size=GOLDEN_PARAMS["tournament_size"],
+        crossover_prob=GOLDEN_PARAMS["crossover_prob"],
+        p_depth=GOLDEN_PARAMS["p_depth"],
+        p_block=GOLDEN_PARAMS["p_block"],
+        seed=GOLDEN_PARAMS["seed"],
+    )
+    return search.run()
+
+
+def main() -> None:
+    result = run_golden_search()
+    fixture = {
+        "format_version": 1,
+        "kind": "nas_golden_trace",
+        "params": GOLDEN_PARAMS,
+        "n_evaluations": result.n_evaluations,
+        "population": [c.to_dict() for c in result.population],
+        "front": result.front.to_dict(),
+    }
+    out = Path(__file__).parent / "nas_golden_trace.json"
+    out.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out} (evaluations={result.n_evaluations}, "
+        f"front size={len(result.front)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

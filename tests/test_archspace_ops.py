@@ -1,0 +1,107 @@
+"""Variation operators: children always satisfy their space's constraints.
+
+Property-based over all three Table I spaces (satellite of the NAS PR):
+every child produced from valid parents must respect the space's depth,
+kernel, expand, and uniform-kernel constraints — `SpaceSpec.contains` is
+the single source of truth.  Plus seeded-determinism and error cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RandomSampler, SPACE_NAMES, crossover, mutate, space_by_name
+
+
+class TestMutationValidity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_child_is_member_of_space(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        p_depth = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        p_block = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        rng = np.random.default_rng(seed)
+        parent = RandomSampler(spec, rng=rng).sample()
+        child = mutate(parent, spec, rng, p_depth=p_depth, p_block=p_block)
+        assert spec.contains(child)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_chained_mutation_stays_in_space(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        rng = np.random.default_rng(seed)
+        config = RandomSampler(spec, rng=rng).sample()
+        for _ in range(5):
+            config = mutate(config, spec, rng, p_depth=0.5, p_block=0.5)
+            assert spec.contains(config)
+
+    def test_zero_probability_is_identity(self):
+        spec = space_by_name("resnet")
+        parent = RandomSampler(spec, rng=3).sample()
+        child = mutate(parent, spec, np.random.default_rng(0), p_depth=0.0, p_block=0.0)
+        assert child == parent
+
+    def test_seeded_mutation_is_deterministic(self):
+        spec = space_by_name("mobilenetv3")
+        parent = RandomSampler(spec, rng=7).sample()
+        a = mutate(parent, spec, np.random.default_rng(42))
+        b = mutate(parent, spec, np.random.default_rng(42))
+        assert a == b
+
+    def test_certain_mutation_changes_something(self):
+        spec = space_by_name("resnet")
+        parent = RandomSampler(spec, rng=5).sample()
+        children = {
+            mutate(parent, spec, np.random.default_rng(s), p_depth=1.0, p_block=1.0)
+            for s in range(8)
+        }
+        assert any(child != parent for child in children)
+
+    def test_invalid_probability_rejected(self):
+        spec = space_by_name("resnet")
+        parent = RandomSampler(spec, rng=1).sample()
+        with pytest.raises(ValueError, match="probabilities"):
+            mutate(parent, spec, 0, p_depth=1.5)
+
+
+class TestCrossoverValidity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_children_are_members_of_space(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        rng = np.random.default_rng(seed)
+        sampler = RandomSampler(spec, rng=rng)
+        a, b = sampler.sample(), sampler.sample()
+        first, second = crossover(a, b, spec, rng)
+        assert spec.contains(first) and spec.contains(second)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_children_jointly_preserve_parental_units(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        rng = np.random.default_rng(seed)
+        sampler = RandomSampler(spec, rng=rng)
+        a, b = sampler.sample(), sampler.sample()
+        first, second = crossover(a, b, spec, rng)
+        for u in range(spec.num_units):
+            assert {first.units[u], second.units[u]} == {a.units[u], b.units[u]}
+
+    def test_seeded_crossover_is_deterministic(self):
+        spec = space_by_name("densenet")
+        sampler = RandomSampler(spec, rng=9)
+        a, b = sampler.sample(), sampler.sample()
+        assert crossover(a, b, spec, np.random.default_rng(5)) == crossover(
+            a, b, spec, np.random.default_rng(5)
+        )
+
+    def test_foreign_parent_rejected(self):
+        resnet, mbv3 = space_by_name("resnet"), space_by_name("mobilenetv3")
+        a = RandomSampler(resnet, rng=0).sample()
+        b = RandomSampler(mbv3, rng=0).sample()
+        with pytest.raises(ValueError, match="parents"):
+            crossover(a, b, resnet, 0)

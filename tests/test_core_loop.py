@@ -234,6 +234,40 @@ class TestLoopStructure:
             ESMLoop(other, cheap_run.run_dir, sleep=lambda s: None).run()
 
 
+class TestImmediateConvergence:
+    """All bins pass at iteration 0: no extension campaign may run."""
+
+    @pytest.fixture(scope="class")
+    def immediate_run(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("esm-immediate") / "run"
+        config = ESMConfig(**{**CHEAP, "acc_th": 1.0, "n_bins": 2})
+        return ESMLoop(config, run_dir, sleep=lambda s: None).run()
+
+    def test_converges_without_extensions(self, immediate_run):
+        report = immediate_run.report
+        assert report.converged
+        assert report.n_iterations == 1
+        record = report.iterations[0]
+        assert record.passed
+        assert record.failing_bins == []
+        assert record.samples_added == {}
+        assert report.total_samples_added == 0
+        assert report.final_dataset_size == len(immediate_run.dataset) == 24
+
+    def test_only_the_initial_campaign_ran(self, immediate_run):
+        campaigns = sorted(
+            p.name for p in immediate_run.run_dir.iterdir()
+            if p.name.startswith("campaign-")
+        )
+        assert campaigns == ["campaign-0000"]
+
+    def test_report_still_round_trips(self, immediate_run):
+        loaded = load_run(immediate_run.run_dir)
+        assert loaded.report.to_dict() == immediate_run.report.to_dict()
+        assert loaded.dataset == immediate_run.dataset
+        assert loaded.report.converged
+
+
 class TestFig11Experiment:
     def test_compare_samplers_and_table(self, tmp_path):
         config = ESMConfig(**CHEAP)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import binwise_accuracy, mape, paper_accuracy, rmse, spearman
+from repro import binwise_accuracy, kendall_tau, mape, paper_accuracy, rmse, spearman
 
 
 class TestPaperAccuracy:
@@ -69,3 +69,35 @@ class TestSpearman:
 
     def test_constant_input_is_zero(self):
         assert spearman([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+
+class TestKendallTau:
+    def test_perfect_monotone_is_one(self):
+        y = np.array([1.0, 2.0, 5.0, 9.0])
+        assert kendall_tau(y, y**2) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        y = np.array([1.0, 2.0, 5.0, 9.0])
+        assert kendall_tau(y, -y) == pytest.approx(-1.0)
+
+    def test_known_value_single_swap(self):
+        # One discordant pair out of six: tau = (5 - 1) / 6.
+        tau = kendall_tau([1.0, 2.0, 3.0, 4.0], [1.0, 3.0, 2.0, 4.0])
+        assert tau == pytest.approx(4.0 / 6.0)
+
+    def test_tau_b_tie_correction(self):
+        # Ties only reduce the denominator, never count as discordant.
+        tau = kendall_tau([1.0, 1.0, 2.0, 3.0], [1.0, 1.5, 2.0, 3.0])
+        assert 0.9 < tau <= 1.0
+
+    def test_constant_input_is_zero(self):
+        assert kendall_tau([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_agrees_with_spearman_sign(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.random(30)
+        y_pred = y_true + 0.1 * rng.random(30)
+        assert kendall_tau(y_true, y_pred) > 0.7
+        assert np.sign(kendall_tau(y_true, y_pred)) == np.sign(
+            spearman(y_true, y_pred)
+        )

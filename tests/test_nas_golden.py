@@ -1,0 +1,102 @@
+"""Golden-trace regression test for `EvolutionarySearch`.
+
+A small seeded NSGA-II run (ResNet space, true latency from the simulated
+RTX 4090, synthetic accuracy proxy) is re-executed and locked against the
+committed fixture ``tests/fixtures/nas_golden_trace.json``:
+
+* the final population — every architecture, in order, compared exactly;
+  latencies and accuracies at 1e-9 relative tolerance (BLAS summation
+  order may differ across CPU generations),
+* the Pareto front coordinates, same tolerance,
+* the fixture schema itself, like the ESM golden trace.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/fixtures/regen_nas_golden_trace.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE_PATH = FIXTURES / "nas_golden_trace.json"
+
+sys.path.insert(0, str(FIXTURES))
+from regen_nas_golden_trace import GOLDEN_PARAMS, run_golden_search  # noqa: E402
+
+sys.path.pop(0)
+
+
+@pytest.fixture(scope="module")
+def fixture_raw():
+    assert FIXTURE_PATH.exists(), "committed NAS golden-trace fixture missing"
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    return run_golden_search()
+
+
+class TestFixtureSchema:
+    """Schema lock: the fixture's shape is part of the contract."""
+
+    def test_header(self, fixture_raw):
+        assert fixture_raw["format_version"] == 1
+        assert fixture_raw["kind"] == "nas_golden_trace"
+        assert set(fixture_raw) == {
+            "format_version",
+            "kind",
+            "params",
+            "n_evaluations",
+            "population",
+            "front",
+        }
+
+    def test_params_match_the_regen_constant(self, fixture_raw):
+        assert fixture_raw["params"] == GOLDEN_PARAMS
+
+    def test_candidate_schema(self, fixture_raw):
+        assert len(fixture_raw["population"]) == GOLDEN_PARAMS["population_size"]
+        for entry in fixture_raw["population"]:
+            assert set(entry) == {"config", "latency_s", "accuracy"}
+            assert entry["config"]["family"] == GOLDEN_PARAMS["space"]
+            assert entry["latency_s"] > 0
+        front = fixture_raw["front"]
+        assert set(front) == {"size", "points"}
+        assert front["size"] == len(front["points"])
+
+
+class TestGoldenTrace:
+    def test_evaluation_budget(self, golden_result, fixture_raw):
+        expected = GOLDEN_PARAMS["population_size"] * (
+            GOLDEN_PARAMS["generations"] + 1
+        )
+        assert golden_result.n_evaluations == expected
+        assert fixture_raw["n_evaluations"] == expected
+
+    def test_population_matches_fixture(self, golden_result, fixture_raw):
+        produced = [c.to_dict() for c in golden_result.population]
+        expected = fixture_raw["population"]
+        assert len(produced) == len(expected)
+        for i, (got, want) in enumerate(zip(produced, expected)):
+            # The discrete architecture trajectory is exact ...
+            assert got["config"] == want["config"], f"population[{i}]"
+            # ... objective values allow BLAS-level float drift.
+            assert got["latency_s"] == pytest.approx(want["latency_s"], rel=1e-9)
+            assert got["accuracy"] == pytest.approx(want["accuracy"], rel=1e-9)
+
+    def test_front_matches_fixture(self, golden_result, fixture_raw):
+        produced = golden_result.front.to_dict()
+        expected = fixture_raw["front"]
+        assert produced["size"] == expected["size"]
+        for got, want in zip(produced["points"], expected["points"]):
+            assert got == pytest.approx(want, rel=1e-9)
+
+    def test_front_is_non_dominated_within_evaluations(self, golden_result):
+        points = [c.point() for c in golden_result.evaluated]
+        for p in golden_result.front:
+            assert not any(q.dominates(p) for q in points)

@@ -1,0 +1,161 @@
+"""`ParetoFront` and displacement metrics: properties and known values.
+
+The hypothesis suite locks the front's defining invariants (satellite of
+the NAS PR): no returned point is dominated by any input point, the front
+is invariant under permutation and duplication of its inputs, and the
+hypervolume is monotone under adding a dominating point.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ParetoFront, ParetoPoint, displacement_metrics
+from repro.nas.pareto import crowding_distance, non_dominated_rank
+
+# Latencies/accuracies drawn from a coarse grid so dominance ties and
+# duplicates actually occur instead of being measure-zero events.
+coords = st.tuples(
+    st.integers(min_value=1, max_value=8).map(lambda v: v / 4.0),
+    st.integers(min_value=80, max_value=96).map(float),
+)
+point_lists = st.lists(coords, min_size=1, max_size=30).map(
+    lambda pairs: [ParetoPoint(lat, acc) for lat, acc in pairs]
+)
+
+
+class TestFrontProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(points=point_lists)
+    def test_no_front_point_dominated_by_any_input(self, points):
+        front = ParetoFront.from_points(points)
+        assert len(front) >= 1
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    @settings(max_examples=100, deadline=None)
+    @given(points=point_lists, data=st.data())
+    def test_invariant_under_permutation_and_duplicates(self, points, data):
+        front = ParetoFront.from_points(points)
+        shuffled = data.draw(st.permutations(points))
+        duplicated = shuffled + data.draw(
+            st.lists(st.sampled_from(points), max_size=10)
+        )
+        assert ParetoFront.from_points(duplicated) == front
+
+    @settings(max_examples=100, deadline=None)
+    @given(points=point_lists, data=st.data())
+    def test_hypervolume_monotone_under_dominating_point(self, points, data):
+        target = data.draw(st.sampled_from(points))
+        dominating = ParetoPoint(target.latency_s / 2.0, target.accuracy + 1.0)
+        ref_latency, ref_accuracy = 4.0, 60.0  # worse than any drawn point
+        before = ParetoFront.from_points(points).hypervolume(
+            ref_latency, ref_accuracy
+        )
+        after = ParetoFront.from_points(points + [dominating]).hypervolume(
+            ref_latency, ref_accuracy
+        )
+        assert after >= before - 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(points=point_lists)
+    def test_front_points_are_mutually_non_dominating(self, points):
+        front = ParetoFront.from_points(points)
+        for p in front:
+            assert not any(q.dominates(p) for q in front)
+
+
+class TestFrontBasics:
+    def test_single_point_front(self):
+        front = ParetoFront.from_points([ParetoPoint(1.0, 90.0)])
+        assert len(front) == 1
+        assert front.to_dict() == {"size": 1, "points": [[1.0, 90.0]]}
+
+    def test_dominated_points_removed_and_sorted(self):
+        points = [
+            ParetoPoint(2.0, 91.0),
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(1.5, 89.0),  # dominated by (1.0, 90.0)
+        ]
+        front = ParetoFront.from_points(points)
+        assert [(p.latency_s, p.accuracy) for p in front] == [
+            (1.0, 90.0),
+            (2.0, 91.0),
+        ]
+
+    def test_hypervolume_known_value(self):
+        # Two steps against ref (4, 80): (1,90) covers 10x3, (2,92) adds 2x2.
+        front = ParetoFront.from_points(
+            [ParetoPoint(1.0, 90.0), ParetoPoint(2.0, 92.0)]
+        )
+        assert front.hypervolume(4.0, 80.0) == pytest.approx(34.0)
+
+    def test_hypervolume_empty_front_is_zero(self):
+        assert ParetoFront([]).hypervolume(1.0, 0.0) == 0.0
+
+    def test_tight_reference_clips_at_zero(self):
+        front = ParetoFront.from_points([ParetoPoint(2.0, 90.0)])
+        assert front.hypervolume(1.0, 95.0) == 0.0
+
+
+class TestRankAndCrowding:
+    def test_ranks_peel_fronts(self):
+        points = [
+            ParetoPoint(1.0, 90.0),  # front 0
+            ParetoPoint(2.0, 92.0),  # front 0
+            ParetoPoint(2.0, 91.0),  # behind front 0 -> front 1
+            ParetoPoint(3.0, 90.0),  # also behind (2.0, 91.0) -> front 2
+        ]
+        assert non_dominated_rank(points).tolist() == [0, 0, 1, 2]
+
+    def test_crowding_boundaries_are_infinite(self):
+        points = [
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(2.0, 92.0),
+            ParetoPoint(3.0, 93.0),
+        ]
+        d = crowding_distance(points)
+        assert np.isinf(d[0]) and np.isinf(d[2])
+        assert np.isfinite(d[1]) and d[1] > 0
+
+    def test_crowding_empty(self):
+        assert crowding_distance([]).size == 0
+
+
+class TestDisplacementMetrics:
+    def test_identical_fronts_have_zero_displacement(self):
+        front = ParetoFront.from_points(
+            [ParetoPoint(1.0, 90.0), ParetoPoint(2.0, 93.0)]
+        )
+        metrics = displacement_metrics(front, front)
+        assert metrics["gd"] == 0.0
+        assert metrics["igd"] == 0.0
+        assert metrics["displacement"] == 0.0
+        assert metrics["jaccard"] == 1.0
+        assert metrics["hypervolume_deficit"] == 0.0
+
+    def test_displaced_front_scores_worse(self):
+        true = ParetoFront.from_points(
+            [ParetoPoint(1.0, 90.0), ParetoPoint(2.0, 93.0)]
+        )
+        near = ParetoFront.from_points(
+            [ParetoPoint(1.1, 90.0), ParetoPoint(2.0, 92.8)]
+        )
+        far = ParetoFront.from_points([ParetoPoint(3.0, 89.0)])
+        d_near = displacement_metrics(true, near)
+        d_far = displacement_metrics(true, far)
+        assert 0.0 < d_near["displacement"] < d_far["displacement"]
+        assert d_far["hypervolume_deficit"] > d_near["hypervolume_deficit"]
+
+    def test_empty_front_rejected(self):
+        front = ParetoFront.from_points([ParetoPoint(1.0, 90.0)])
+        with pytest.raises(ValueError, match="non-empty"):
+            displacement_metrics(front, ParetoFront([]))
+
+    def test_degenerate_single_point_fronts(self):
+        a = ParetoFront.from_points([ParetoPoint(1.0, 90.0)])
+        b = ParetoFront.from_points([ParetoPoint(1.5, 90.0)])
+        metrics = displacement_metrics(a, b)
+        assert np.isfinite(metrics["displacement"])
+        assert metrics["jaccard"] == 0.0

@@ -1,0 +1,117 @@
+"""`SyntheticAccuracyProxy`: determinism, bounds, and capacity ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RandomSampler, SPACE_NAMES, SyntheticAccuracyProxy, space_by_name
+from repro.archspace.config import ArchConfig
+
+
+class TestDeterminismAndBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_accuracy_within_noise_padded_bounds(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        proxy = SyntheticAccuracyProxy(spec, seed=data.draw(st.integers(0, 100)))
+        config = RandomSampler(spec, rng=seed).sample()
+        acc = proxy.accuracy(config)
+        assert proxy.floor - proxy.noise_pp <= acc <= proxy.ceiling + proxy.noise_pp
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_same_seed_same_accuracy(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        config = RandomSampler(spec, rng=data.draw(st.integers(0, 10_000))).sample()
+        a = SyntheticAccuracyProxy(spec, seed=5).accuracy(config)
+        b = SyntheticAccuracyProxy(spec, seed=5).accuracy(config)
+        assert a == b
+
+    def test_different_seeds_change_noise(self):
+        spec = space_by_name("resnet")
+        configs = RandomSampler(spec, rng=0).sample_batch(16)
+        a = SyntheticAccuracyProxy(spec, seed=0).accuracy_batch(configs)
+        b = SyntheticAccuracyProxy(spec, seed=1).accuracy_batch(configs)
+        assert not np.allclose(a, b)
+        # ... but only the bounded noise moves, never the capacity curve.
+        assert np.max(np.abs(a - b)) <= 2 * SyntheticAccuracyProxy(spec).noise_pp
+
+    def test_batch_matches_scalar(self):
+        spec = space_by_name("mobilenetv3")
+        proxy = SyntheticAccuracyProxy(spec, seed=3)
+        configs = RandomSampler(spec, rng=3).sample_batch(8)
+        batch = proxy.accuracy_batch(configs)
+        assert batch.tolist() == [proxy.accuracy(c) for c in configs]
+
+
+class TestCapacityOrdering:
+    def test_bigger_architecture_is_more_accurate(self):
+        # With noise off, the maximal config must beat the minimal one by
+        # the full floor->ceiling sweep.
+        for name in SPACE_NAMES:
+            spec = space_by_name(name)
+            proxy = SyntheticAccuracyProxy(spec, noise_pp=0.0)
+            smallest = spec.make_config(
+                depths=[spec.min_depth] * spec.num_units,
+                kernels=[min(spec.kernel_choices)] * spec.num_units,
+                expands=(
+                    [min(spec.expand_choices)] * spec.num_units
+                    if spec.expand_choices
+                    else None
+                ),
+            )
+            largest = spec.make_config(
+                depths=[spec.max_depth] * spec.num_units,
+                kernels=[max(spec.kernel_choices)] * spec.num_units,
+                expands=(
+                    [max(spec.expand_choices)] * spec.num_units
+                    if spec.expand_choices
+                    else None
+                ),
+            )
+            lo, hi = proxy.accuracy(smallest), proxy.accuracy(largest)
+            assert lo < hi
+            assert hi == pytest.approx(proxy.ceiling)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_capacity_increases_with_depth(self, data):
+        spec = space_by_name(data.draw(st.sampled_from(SPACE_NAMES)))
+        proxy = SyntheticAccuracyProxy(spec, noise_pp=0.0)
+        config = RandomSampler(
+            spec, rng=data.draw(st.integers(0, 10_000))
+        ).sample()
+        # Append a copy of each unit's first block where depth allows
+        # (depth choices are contiguous, so depth+1 stays in the space).
+        new_units, changed = [], False
+        for blocks in config.units:
+            if len(blocks) < spec.max_depth:
+                blocks = blocks + (blocks[0],)
+                changed = True
+            new_units.append(blocks)
+        if not changed:
+            return  # already maximal everywhere
+        deeper = ArchConfig(family=config.family, units=tuple(new_units))
+        assert spec.contains(deeper)
+        assert proxy.capacity(deeper) > proxy.capacity(config)
+
+
+class TestValidation:
+    def test_out_of_space_config_rejected(self):
+        resnet = space_by_name("resnet")
+        mbv3 = space_by_name("mobilenetv3")
+        config = RandomSampler(mbv3, rng=0).sample()
+        proxy = SyntheticAccuracyProxy(resnet)
+        with pytest.raises(ValueError, match="not a member"):
+            proxy.accuracy(config)
+
+    def test_bad_parameters_rejected(self):
+        spec = space_by_name("resnet")
+        with pytest.raises(ValueError, match="ceiling"):
+            SyntheticAccuracyProxy(spec, floor=95.0, ceiling=90.0)
+        with pytest.raises(ValueError, match="noise_pp"):
+            SyntheticAccuracyProxy(spec, noise_pp=-0.1)
+        with pytest.raises(ValueError, match="curvature"):
+            SyntheticAccuracyProxy(spec, curvature=0.0)

@@ -11,7 +11,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import bench_campaign, bench_encode, bench_esm_loop, bench_measure, bench_nas
+from . import (
+    bench_campaign,
+    bench_encode,
+    bench_esm_loop,
+    bench_measure,
+    bench_nas,
+    bench_predictors,
+)
 from .common import RESULTS_DIR, summarize
 
 BENCHES = {
@@ -20,6 +27,7 @@ BENCHES = {
     "encode": bench_encode.run,
     "esm_loop": bench_esm_loop.run,
     "nas": bench_nas.run,
+    "predictors": bench_predictors.run,
 }
 
 

@@ -1,0 +1,123 @@
+"""Fit/predict throughput across the predictor zoo, plus switching overhead.
+
+Times every registry member — ridge, CART, random forest, gradient
+boosting, the MLP, and both LUT variants — on the same FCC-encoded
+ResNet workload: seconds to fit, microseconds per predicted row, and the
+held-out MAPE each one buys for that budget.  The adaptive switcher is
+timed separately against its own winner's solo fit, which prices the
+k-fold model selection (`overhead_x`: a 3-fold CV over five members costs
+roughly 3x5 member fits plus the final refit).
+
+Determinism is asserted, not assumed: every member must reproduce its
+predictions bit for bit on a refit, and the record carries that flag.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .common import best_of, sample_configs, write_result
+
+FAMILY = "resnet"
+DEVICE = "rtx4090"
+ENCODING = "fcc"
+SEED = 1
+
+
+def _members(smoke: bool):
+    """Registry name -> constructor kwargs, shrunk for smoke mode."""
+    if smoke:
+        return {
+            "ridge": {},
+            "cart": {"max_depth": 4},
+            "rf": {"n_estimators": 5},
+            "gb": {"n_estimators": 10},
+            "mlp": {"epochs": 30},
+            "lut": {},
+            "lut+bias": {},
+            "as": {
+                "zoo": ["ridge", "cart", "rf"],
+                "zoo_params": {"rf": {"n_estimators": 5}},
+                "cv_folds": 2,
+            },
+        }
+    return {
+        "ridge": {},
+        "cart": {},
+        "rf": {},
+        "gb": {},
+        "mlp": {"epochs": 600},
+        "lut": {},
+        "lut+bias": {},
+        "as": {
+            "zoo_params": {"mlp": {"epochs": 600}},
+            "cv_folds": 3,
+        },
+    }
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import SimulatedDevice, get_predictor, mape
+
+    n_train = 60 if smoke else 400
+    n_test = 200 if smoke else 2000
+    configs, spec = sample_configs(FAMILY, n_train + n_test, SEED)
+    device = SimulatedDevice(DEVICE, seed=0)
+    from repro import get_encoding
+
+    X = get_encoding(ENCODING).encode_batch(configs, spec)
+    y = np.array([device.true_latency(c) for c in configs])
+    X_train, y_train = X[:n_train], y[:n_train]
+    X_test, y_test = X[n_train:], y[n_train:]
+
+    members = _members(smoke)
+    records = {}
+    bit_identical = True
+    total_wall = 0.0
+    t_bench = time.perf_counter()
+    for name, params in members.items():
+        predictor = get_predictor(name, **params)
+        t0 = time.perf_counter()
+        predictor.fit(X_train, y_train)
+        fit_s = time.perf_counter() - t0
+        total_wall += fit_s
+        predict_s, pred = best_of(lambda: predictor.predict(X_test), repeat=3)
+        refit_pred = get_predictor(name, **params).fit(X_train, y_train).predict(X_test)
+        identical = bool(np.array_equal(pred, refit_pred))
+        bit_identical = bit_identical and identical
+        records[name] = {
+            "fit_ms": round(fit_s * 1e3, 3),
+            "predict_us_per_row": round(predict_s / n_test * 1e6, 3),
+            "held_out_mape_pct": round(float(mape(y_test, pred)), 4),
+            "bit_identical_refit": identical,
+        }
+        if name == "as":
+            records[name]["winner"] = predictor.winner_
+            winner_solo = predictor._spawn(predictor.winner_)
+            solo_s, _ = best_of(lambda: winner_solo.fit(X_train, y_train), repeat=1)
+            records[name]["winner_solo_fit_ms"] = round(solo_s * 1e3, 3)
+            records[name]["selection_overhead_x"] = (
+                round(fit_s / solo_s, 2) if solo_s > 0 else None
+            )
+    bench_wall = time.perf_counter() - t_bench
+
+    return write_result(
+        "predictors",
+        params={
+            "family": FAMILY,
+            "device": DEVICE,
+            "encoding": ENCODING,
+            "n_train": n_train,
+            "n_test": n_test,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        wall_s=bench_wall,
+        per_item_us=total_wall / (len(members) * n_train) * 1e6,
+        cache_hit_rate=None,
+        out_dir=out_dir,
+        members=records,
+        bit_identical=bit_identical,
+    )

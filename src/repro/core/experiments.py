@@ -70,11 +70,26 @@ def format_comparison(reports: Dict[str, ESMRunReport]) -> str:
     return "\n".join(lines)
 
 
-def _smoke_config(seed: int) -> ESMConfig:
+# Reduced-budget hyperparameters per predictor for --smoke runs; the
+# adaptive switcher gets a slimmed zoo so per-refit CV stays cheap.
+_SMOKE_PREDICTOR_PARAMS = {
+    "mlp": {"epochs": 150},
+    "as": {
+        "zoo_params": {
+            "mlp": {"epochs": 150},
+            "rf": {"n_estimators": 20},
+            "gb": {"n_estimators": 60},
+        }
+    },
+}
+
+
+def _smoke_config(seed: int, predictor: str = "mlp") -> ESMConfig:
     """A minutes-scale configuration (reduced protocol, small budgets)."""
     return ESMConfig(
         space="resnet",
         device="rtx4090",
+        predictor=predictor,
         acc_th=80.0,
         n_bins=5,
         initial_size=40,
@@ -84,7 +99,7 @@ def _smoke_config(seed: int) -> ESMConfig:
         n_references=2,
         batch_size=10,
         seed=seed,
-        predictor_params={"epochs": 150},
+        predictor_params=_SMOKE_PREDICTOR_PARAMS.get(predictor, {}),
     )
 
 
@@ -95,6 +110,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--space", default="resnet")
     parser.add_argument("--device", default="rtx4090")
+    parser.add_argument(
+        "--predictor",
+        default="mlp",
+        help="predictor registry name; 'as' is the adaptive-switching zoo",
+    )
     parser.add_argument("--acc-th", type=float, default=90.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
@@ -111,11 +131,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        config = _smoke_config(args.seed)
+        config = _smoke_config(args.seed, predictor=args.predictor)
     else:
         config = ESMConfig(
             space=args.space,
             device=args.device,
+            predictor=args.predictor,
             acc_th=args.acc_th,
             seed=args.seed,
         )

@@ -241,6 +241,9 @@ class ESMLoop:
             predictor = self._make_predictor()
             predictor.fit(train.encode(encoding, self.spec), train.latencies)
             accuracies = self._evaluate(predictor, test, encoding)
+            # The adaptive switcher exposes its per-refit CV winner; fixed
+            # predictors are their own (constant) model.
+            model_used = getattr(predictor, "winner_", None) or cfg.predictor
             failing = failing_bins(accuracies, cfg.acc_th)
             passed = not failing
             last_iteration = iteration == cfg.max_iterations - 1
@@ -259,6 +262,7 @@ class ESMLoop:
                     failing_bins=failing,
                     samples_added={b: int(n) for b, n in plan.items()},
                     passed=passed,
+                    predictor_model=model_used,
                 )
             )
             if passed:
@@ -295,9 +299,11 @@ def load_run(run_dir: Union[str, Path]) -> ESMRunResult:
     """Load a finished run — surrogate plus provenance, no re-measuring.
 
     The predictor is restored when a ``predictor.json`` exists (predictors
-    without persistence support load as ``None``).
+    without persistence support load as ``None``); `load_predictor`
+    dispatches on the saved ``kind``, so runs made with any zoo member —
+    including the adaptive switcher — round-trip.
     """
-    from ..predictors.mlp import MLPPredictor
+    from ..predictors import load_predictor
 
     run_dir = Path(run_dir)
     report = ESMRunReport.load(run_dir / REPORT_FILENAME)
@@ -305,7 +311,7 @@ def load_run(run_dir: Union[str, Path]) -> ESMRunResult:
     predictor = None
     predictor_path = run_dir / PREDICTOR_FILENAME
     if predictor_path.exists():
-        predictor = MLPPredictor.load(predictor_path)
+        predictor = load_predictor(predictor_path)
     return ESMRunResult(
         report=report, dataset=dataset, predictor=predictor, run_dir=run_dir
     )

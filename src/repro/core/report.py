@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..data.dataset import DatasetError
 from ..utils import atomic_write_text
@@ -34,7 +34,10 @@ class IterationRecord:
     the held-out split (0.0 for bins the split left empty — an unmeasured
     bin is a failing bin).  ``samples_added`` is the Algorithm 1 extension
     plan this evaluation triggered; empty when the iteration passed or the
-    budget ended the run.
+    budget ended the run.  ``predictor_model`` names the model that scored
+    this iteration — the config's predictor for fixed surrogates, the
+    per-refit CV winner for the adaptive switcher (``None`` only in
+    reports written before the predictor zoo existed).
     """
 
     iteration: int
@@ -45,6 +48,7 @@ class IterationRecord:
     failing_bins: List[int]
     samples_added: Dict[int, int]
     passed: bool
+    predictor_model: Optional[str] = None
 
     @property
     def n_added(self) -> int:
@@ -61,6 +65,7 @@ class IterationRecord:
             "failing_bins": list(self.failing_bins),
             "samples_added": {str(b): n for b, n in self.samples_added.items()},
             "passed": self.passed,
+            "predictor_model": self.predictor_model,
         }
 
     @classmethod
@@ -76,6 +81,8 @@ class IterationRecord:
             failing_bins=[int(b) for b in d["failing_bins"]],
             samples_added={int(b): int(n) for b, n in d["samples_added"].items()},
             passed=bool(d["passed"]),
+            # Absent in pre-zoo reports; those load with None.
+            predictor_model=d.get("predictor_model"),
         )
 
 
@@ -116,6 +123,11 @@ class ESMRunReport:
     def accuracy_trace(self) -> List[Dict[int, float]]:
         """Per-iteration bin accuracies, the quantity Fig. 11 plots."""
         return [dict(record.bin_accuracies) for record in self.iterations]
+
+    def predictor_models(self) -> List[Optional[str]]:
+        """Which model scored each iteration — for a fixed predictor a
+        constant sequence, for the adaptive switcher the CV-winner trace."""
+        return [record.predictor_model for record in self.iterations]
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -49,7 +49,8 @@ __all__ = ["SURROGATES", "run_space", "format_report", "main"]
 NAS_REPORT_FORMAT_VERSION = 1
 
 # Label -> (predictor registry name, encoding registry name).  The LUT
-# rides on FCC counts: that encoding is exactly its design matrix.
+# rides on FCC counts: that encoding is exactly its design matrix; "as"
+# is the adaptive-switching zoo picking its model family by CV per refit.
 SURROGATES = {
     "onehot": ("mlp", "onehot"),
     "feature": ("mlp", "feature"),
@@ -57,6 +58,21 @@ SURROGATES = {
     "fc": ("mlp", "fc"),
     "fcc": ("mlp", "fcc"),
     "lut": ("lut+bias", "fcc"),
+    "as": ("as", "fcc"),
+}
+
+# Reduced-budget hyperparameters for the smoke runs: the MLP gets extra
+# epochs (tiny datasets need them), the switcher's zoo is slimmed so its
+# per-refit cross-validation stays seconds-scale.
+_SMOKE_PREDICTOR_PARAMS = {
+    "mlp": {"epochs": 1000},
+    "as": {
+        "zoo_params": {
+            "mlp": {"epochs": 300},
+            "rf": {"n_estimators": 20},
+            "gb": {"n_estimators": 60},
+        }
+    },
 }
 
 _SLOT_RANKING_SAMPLE = 301
@@ -65,7 +81,7 @@ _SLOT_RANKING_SAMPLE = 301
 def _esm_config(
     space: str, device: str, predictor: str, encoding: str, seed: int, smoke: bool
 ) -> ESMConfig:
-    params = {"epochs": 1000} if predictor == "mlp" and smoke else {}
+    params = _SMOKE_PREDICTOR_PARAMS.get(predictor, {}) if smoke else {}
     if smoke:
         return ESMConfig(
             space=space,
@@ -148,8 +164,13 @@ def run_space(
     smoke: bool = False,
     workdir: Union[str, Path],
     workers: int = 1,
+    surrogates: Optional[Sequence[str]] = None,
 ) -> dict:
-    """The full per-space experiment; returns the report fragment."""
+    """The full per-space experiment; returns the report fragment.
+
+    ``surrogates`` restricts the run to a subset of `SURROGATES` labels
+    (e.g. ``["as"]`` for just the adaptive switcher); default is all.
+    """
     spec = space_by_name(space)
     device = SimulatedDevice(device_name, seed=seed)
     proxy = SyntheticAccuracyProxy(spec, seed=seed)
@@ -172,8 +193,12 @@ def run_space(
     true_lat = true_oracle.latency_batch(sample)
     topk_idx = np.argsort(true_lat, kind="stable")[:topk]
 
+    selected = {
+        label: SURROGATES[label]
+        for label in (surrogates if surrogates is not None else SURROGATES)
+    }
     oracles_report: Dict[str, dict] = {}
-    for label, (predictor, encoding) in SURROGATES.items():
+    for label, (predictor, encoding) in selected.items():
         config = _esm_config(space, device_name, predictor, encoding, seed, smoke)
         result = ESMLoop(
             config,
@@ -270,6 +295,7 @@ def run_experiment(
     smoke: bool = False,
     workdir: Union[str, Path],
     workers: int = 1,
+    surrogates: Optional[Sequence[str]] = None,
 ) -> dict:
     """Run every requested space and assemble the deterministic report."""
     budgets = _search_budgets(smoke)
@@ -287,6 +313,7 @@ def run_experiment(
                 smoke=smoke,
                 workdir=workdir,
                 workers=workers,
+                surrogates=surrogates,
             )
             for space in spaces
         },
@@ -308,6 +335,14 @@ def main(argv=None) -> int:
     parser.add_argument("--device", default="rtx4090")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--surrogates",
+        nargs="+",
+        choices=sorted(SURROGATES),
+        default=None,
+        help="surrogate labels to run (default: all, incl. the adaptive "
+        "switcher 'as')",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -331,6 +366,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         smoke=args.smoke,
         workers=args.workers,
+        surrogates=args.surrogates,
     )
     if args.workdir is None:
         with tempfile.TemporaryDirectory(prefix="esm-nas-") as tmp:

@@ -1,17 +1,48 @@
-"""Latency predictors, their registry, and the search-facing oracle protocol."""
+"""The predictor zoo, its registry, and the search-facing oracle protocol.
 
-from typing import Callable, Dict, Tuple
+Every member implements the `Predictor` contract (`protocol`):
+``fit`` / ``fit_dataset`` / ``predict`` / ``save`` / ``load``, seeded
+determinism, JSON-serialisable hyperparameters.  The registry maps CLI
+names to constructors; `load_predictor` is the inverse of any member's
+``save``, dispatching on the payload's ``kind``.
+"""
 
+import json
+from pathlib import Path
+from typing import Callable, Dict, Tuple, Union
+
+from .boosting import GradientBoostingPredictor
+from .forest import RandomForestPredictor
+from .linear import RidgePredictor
 from .lut import LookupTableSurrogate
 from .mlp import MLPPredictor
 from .oracle import DeviceOracle, LatencyOracle, PredictorOracle
+from .protocol import PREDICTOR_FORMAT_VERSION, Predictor, PredictorBase
+from .switching import (
+    AdaptiveSwitchingPredictor,
+    kfold_indices,
+    select_winner,
+)
+from .tree import CARTPredictor
 
 __all__ = [
+    "Predictor",
+    "PredictorBase",
+    "PREDICTOR_FORMAT_VERSION",
     "MLPPredictor",
     "LookupTableSurrogate",
+    "RidgePredictor",
+    "CARTPredictor",
+    "RandomForestPredictor",
+    "GradientBoostingPredictor",
+    "AdaptiveSwitchingPredictor",
+    "kfold_indices",
+    "select_winner",
     "PREDICTORS",
     "get_predictor",
     "list_predictors",
+    "load_predictor",
+    "predictor_from_payload",
     "LatencyOracle",
     "PredictorOracle",
     "DeviceOracle",
@@ -21,6 +52,26 @@ PREDICTORS: Dict[str, Callable] = {
     "mlp": MLPPredictor,
     "lut": LookupTableSurrogate,
     "lut+bias": lambda **kw: LookupTableSurrogate(bias_correction=True, **kw),
+    "ridge": RidgePredictor,
+    "cart": CARTPredictor,
+    "rf": RandomForestPredictor,
+    "gb": GradientBoostingPredictor,
+    "as": AdaptiveSwitchingPredictor,
+}
+
+# Payload ``kind`` -> class, for `load_predictor`.  Registry aliases
+# ("lut+bias") share their class's kind; the hyperparameters disambiguate.
+_KINDS: Dict[str, type] = {
+    cls.KIND: cls
+    for cls in (
+        MLPPredictor,
+        LookupTableSurrogate,
+        RidgePredictor,
+        CARTPredictor,
+        RandomForestPredictor,
+        GradientBoostingPredictor,
+        AdaptiveSwitchingPredictor,
+    )
 }
 
 
@@ -37,3 +88,28 @@ def get_predictor(name: str, **kwargs):
 def list_predictors() -> Tuple[str, ...]:
     """Names of all registered predictors."""
     return tuple(PREDICTORS)
+
+
+def predictor_from_payload(payload: dict) -> PredictorBase:
+    """Reconstruct any zoo member from its ``to_payload`` dict."""
+    kind = payload.get("kind")
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor kind {kind!r}; known: {', '.join(_KINDS)}"
+        ) from None
+    return cls.from_payload(payload)
+
+
+def load_predictor(path: Union[str, Path]) -> PredictorBase:
+    """Load a saved predictor of *any* kind (the inverse of ``save``)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"predictor file {path} is not valid JSON: {exc}") from exc
+    try:
+        return predictor_from_payload(payload)
+    except ValueError as exc:
+        raise ValueError(f"predictor file {path}: {exc}") from None

@@ -15,11 +15,15 @@ from typing import Optional
 
 import numpy as np
 
+from .protocol import PredictorBase, validate_fit_inputs
+
 __all__ = ["LookupTableSurrogate"]
 
 
-class LookupTableSurrogate:
+class LookupTableSurrogate(PredictorBase):
     """Least-squares additive table over count features (e.g. FCC vectors)."""
+
+    KIND = "lut"
 
     def __init__(self, bias_correction: bool = False):
         self.bias_correction = bias_correction
@@ -27,8 +31,7 @@ class LookupTableSurrogate:
         self.bias_coef_: Optional[np.ndarray] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LookupTableSurrogate":
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).reshape(-1)
+        X, y = validate_fit_inputs(X, y)
         self.table_, *_ = np.linalg.lstsq(X, y, rcond=None)
         if self.bias_correction:
             raw = X @ self.table_
@@ -37,8 +40,7 @@ class LookupTableSurrogate:
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        if self.table_ is None:
-            raise RuntimeError("surrogate is not fitted")
+        self._require_fitted()
         X = np.asarray(X, dtype=float)
         raw = X @ self.table_
         if not self.bias_correction:
@@ -46,5 +48,23 @@ class LookupTableSurrogate:
         Z = np.stack([raw, X.sum(axis=1), np.ones(X.shape[0])], axis=1)
         return Z @ self.bias_coef_
 
-    def predict_one(self, x: np.ndarray) -> float:
-        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.table_ is not None
+
+    def _get_state(self) -> dict:
+        return {
+            "table": self.table_.tolist(),
+            "bias_coef": (
+                None if self.bias_coef_ is None else self.bias_coef_.tolist()
+            ),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self.table_ = np.asarray(state["table"], dtype=float)
+        bias = state.get("bias_coef")
+        self.bias_coef_ = None if bias is None else np.asarray(bias, dtype=float)

@@ -15,25 +15,23 @@ every seeded result downstream of it) is reproduced exactly.
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-from typing import TYPE_CHECKING, List, Optional, Union
+from typing import List, Optional
 
 import numpy as np
 
-from ..utils import atomic_write_text
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..archspace.spaces import SpaceSpec
-    from ..data.dataset import LatencyDataset
+from .protocol import PREDICTOR_FORMAT_VERSION, PredictorBase, validate_fit_inputs
 
 __all__ = ["MLPPredictor", "MLP_FORMAT_VERSION"]
 
-MLP_FORMAT_VERSION = 1
+# The MLP shares the zoo-wide payload versioning (kept under its old name
+# for backward compatibility of imports).
+MLP_FORMAT_VERSION = PREDICTOR_FORMAT_VERSION
 
 
-class MLPPredictor:
+class MLPPredictor(PredictorBase):
     """Seeded numpy MLP: input -> 64 -> 64 -> 1 with ReLU."""
+
+    KIND = "mlp"
 
     def __init__(
         self,
@@ -71,10 +69,7 @@ class MLPPredictor:
     # ------------------------------------------------------------------ #
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPPredictor":
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).reshape(-1)
-        if X.ndim != 2 or X.shape[0] != y.shape[0]:
-            raise ValueError("X must be (n, d) with one target per row")
+        X, y = validate_fit_inputs(X, y)
         rng = np.random.default_rng(self.seed)
 
         self._x_mean = X.mean(axis=0)
@@ -159,8 +154,7 @@ class MLPPredictor:
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        if self._weights is None:
-            raise RuntimeError("predictor is not fitted")
+        self._require_fitted()
         h = (np.asarray(X, dtype=float) - self._x_mean) / self._x_std
         for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
             h = h @ w + b
@@ -168,49 +162,16 @@ class MLPPredictor:
                 h = np.maximum(h, 0.0)
         return h[:, 0] * self._y_scale
 
-    def predict_one(self, x: np.ndarray) -> float:
-        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])
-
-    def fit_dataset(
-        self,
-        dataset: "LatencyDataset",
-        encoding,
-        spec: "SpaceSpec",
-    ) -> "MLPPredictor":
-        """Fit straight from a measured dataset: encode, then `fit`.
-
-        ``encoding`` is a registry name or `Encoding` instance; targets
-        are the dataset's measured latencies.
-        """
-        return self.fit(dataset.encode(encoding, spec), dataset.latencies)
-
     # ------------------------------------------------------------------ #
-    # Persistence
+    # Persistence (the zoo-wide payload; see protocol.PredictorBase)
     # ------------------------------------------------------------------ #
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialise the fitted predictor to JSON, atomically.
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
 
-        Weights, biases, and the normalisation statistics (`fit`'s input
-        z-scoring and target scale) all round-trip exactly — JSON floats
-        use shortest-repr encoding, so `load` reproduces bit-identical
-        predictions.
-        """
-        if self._weights is None:
-            raise RuntimeError("cannot save an unfitted predictor")
-        payload = {
-            "format_version": MLP_FORMAT_VERSION,
-            "kind": "mlp",
-            "hyperparameters": {
-                "hidden_dim": self.hidden_dim,
-                "lr": self.lr,
-                "weight_decay": self.weight_decay,
-                "epochs": self.epochs,
-                "batch_size": self.batch_size,
-                "seed": self.seed,
-                "patience": self.patience,
-                "tol": self.tol,
-            },
+    def _get_state(self) -> dict:
+        return {
             "x_mean": self._x_mean.tolist(),
             "x_std": self._x_std.tolist(),
             "y_scale": self._y_scale,
@@ -218,31 +179,11 @@ class MLPPredictor:
             "biases": [b.tolist() for b in self._biases],
             "loss_history": list(self.loss_history_),
         }
-        atomic_write_text(path, json.dumps(payload))
 
-    @classmethod
-    def load(cls, path: Union[str, Path]) -> "MLPPredictor":
-        """Restore a predictor saved by `save`; predictions are identical."""
-        path = Path(path)
-        payload = json.loads(path.read_text())
-        version = payload.get("format_version")
-        if version != MLP_FORMAT_VERSION:
-            raise ValueError(
-                f"predictor file {path} has format_version {version!r} "
-                f"(expected {MLP_FORMAT_VERSION})"
-            )
-        if payload.get("kind") != "mlp":
-            raise ValueError(
-                f"predictor file {path} holds kind {payload.get('kind')!r}, "
-                "expected 'mlp'"
-            )
-        predictor = cls(**payload["hyperparameters"])
-        predictor._x_mean = np.asarray(payload["x_mean"], dtype=float)
-        predictor._x_std = np.asarray(payload["x_std"], dtype=float)
-        predictor._y_scale = float(payload["y_scale"])
-        predictor._weights = [
-            np.asarray(w, dtype=float) for w in payload["weights"]
-        ]
-        predictor._biases = [np.asarray(b, dtype=float) for b in payload["biases"]]
-        predictor.loss_history_ = [float(x) for x in payload["loss_history"]]
-        return predictor
+    def _set_state(self, state: dict) -> None:
+        self._x_mean = np.asarray(state["x_mean"], dtype=float)
+        self._x_std = np.asarray(state["x_std"], dtype=float)
+        self._y_scale = float(state["y_scale"])
+        self._weights = [np.asarray(w, dtype=float) for w in state["weights"]]
+        self._biases = [np.asarray(b, dtype=float) for b in state["biases"]]
+        self.loss_history_ = [float(x) for x in state["loss_history"]]

@@ -1,0 +1,196 @@
+"""The predictor protocol: one contract for every surrogate in the zoo.
+
+Everything the rest of the system asks of a latency predictor is captured
+here, and the parametrized contract suite (``tests/test_predictor_contract.py``)
+runs every registered implementation against it:
+
+* ``fit(X, y)`` / ``fit_dataset(dataset, encoding, spec)`` — training,
+  deterministic under a fixed ``seed`` hyperparameter,
+* ``predict(X)`` / ``predict_one(x)`` — float64 1-D predictions, refusing
+  to run before ``fit``,
+* ``get_params()`` — the constructor hyperparameters as a
+  JSON-serialisable dict (so configs, reports, and saved models can state
+  exactly which predictor produced them),
+* ``save(path)`` / ``load(path)`` — atomic JSON persistence that
+  round-trips predictions bit for bit.
+
+`PredictorBase` implements the shared parts once: hyperparameter
+introspection, the versioned ``{format_version, kind, hyperparameters,
+state}`` payload, atomic writes, and the fitted-state guard.  A concrete
+predictor only supplies ``KIND``, ``fit``, ``predict``, and the
+``_get_state`` / ``_set_state`` pair describing its fitted arrays.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from ..utils import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..archspace.spaces import SpaceSpec
+    from ..data.dataset import LatencyDataset
+
+__all__ = [
+    "Predictor",
+    "PredictorBase",
+    "PREDICTOR_FORMAT_VERSION",
+    "validate_fit_inputs",
+]
+
+PREDICTOR_FORMAT_VERSION = 1
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """What `ESMLoop`, `PredictorOracle`, and run provenance rely on."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Predictor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+    def predict_one(self, x: np.ndarray) -> float: ...
+
+    def fit_dataset(
+        self, dataset: "LatencyDataset", encoding, spec: "SpaceSpec"
+    ) -> "Predictor": ...
+
+    def get_params(self) -> Dict[str, Any]: ...
+
+    def save(self, path: Union[str, Path]) -> None: ...
+
+
+def validate_fit_inputs(X, y) -> "tuple[np.ndarray, np.ndarray]":
+    """Coerce to float64 and check the `(n, d)` / `(n,)` shape contract."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).reshape(-1)
+    if X.ndim != 2 or X.shape[0] != y.shape[0]:
+        raise ValueError("X must be (n, d) with one target per row")
+    if X.shape[0] == 0:
+        raise ValueError("fit needs at least one sample")
+    return X, y
+
+
+class PredictorBase:
+    """Shared predictor plumbing; subclasses set ``KIND`` and the state pair."""
+
+    KIND: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Hyperparameters
+    # ------------------------------------------------------------------ #
+
+    def get_params(self) -> Dict[str, Any]:
+        """Constructor hyperparameters, introspected by name.
+
+        Every constructor argument is stored under its own name, so the
+        params of any predictor — current or future — round-trip through
+        ``type(self)(**self.get_params())`` and through JSON.
+        """
+        names = [
+            p.name
+            for p in inspect.signature(type(self).__init__).parameters.values()
+            if p.name != "self" and p.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    # ------------------------------------------------------------------ #
+    # Convenience entry points shared by the whole zoo
+    # ------------------------------------------------------------------ #
+
+    def fit_dataset(
+        self, dataset: "LatencyDataset", encoding, spec: "SpaceSpec"
+    ):
+        """Fit straight from a measured dataset: encode, then `fit`.
+
+        ``encoding`` is a registry name or `Encoding` instance; targets
+        are the dataset's measured latencies.
+        """
+        return self.fit(dataset.encode(encoding, spec), dataset.latencies)
+
+    def predict_one(self, x: np.ndarray) -> float:
+        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])
+
+    # ------------------------------------------------------------------ #
+    # Fitted-state guard
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        raise NotImplementedError
+
+    def _require_fitted(self, action: str = "predict") -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"predictor is not fitted (cannot {action})")
+
+    # ------------------------------------------------------------------ #
+    # Persistence: versioned payload + atomic file I/O
+    # ------------------------------------------------------------------ #
+
+    def _get_state(self) -> dict:
+        """The fitted state as JSON-serialisable plain data."""
+        raise NotImplementedError
+
+    def _set_state(self, state: dict) -> None:
+        """Restore the fitted state written by `_get_state`."""
+        raise NotImplementedError
+
+    def to_payload(self) -> dict:
+        """The full serialised form: hyperparameters plus fitted state."""
+        self._require_fitted("save")
+        return {
+            "format_version": PREDICTOR_FORMAT_VERSION,
+            "kind": self.KIND,
+            "hyperparameters": self.get_params(),
+            "state": self._get_state(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PredictorBase":
+        version = payload.get("format_version")
+        if version != PREDICTOR_FORMAT_VERSION:
+            raise ValueError(
+                f"predictor payload has format_version {version!r} "
+                f"(expected {PREDICTOR_FORMAT_VERSION})"
+            )
+        if payload.get("kind") != cls.KIND:
+            raise ValueError(
+                f"predictor payload holds kind {payload.get('kind')!r}, "
+                f"expected {cls.KIND!r}"
+            )
+        predictor = cls(**payload["hyperparameters"])
+        predictor._set_state(payload["state"])
+        return predictor
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise the fitted predictor to JSON, atomically.
+
+        The payload goes through `atomic_write_text` (temp file +
+        ``os.replace``, like `LatencyDataset.save`), so an interrupt
+        mid-save leaves any previous file untouched.  JSON floats use
+        shortest-repr encoding, so `load` reproduces bit-identical
+        predictions.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("cannot save an unfitted predictor")
+        atomic_write_text(path, json.dumps(self.to_payload()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PredictorBase":
+        """Restore a predictor saved by `save`; predictions are identical."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"predictor file {path} is not valid JSON: {exc}"
+            ) from exc
+        try:
+            return cls.from_payload(payload)
+        except ValueError as exc:
+            raise ValueError(f"predictor file {path}: {exc}") from None

@@ -1,0 +1,186 @@
+"""CNAS-style adaptive switching: pick the best zoo member by CV, each refit.
+
+`AdaptiveSwitchingPredictor` (registry name ``"as"``) holds a *zoo* of
+predictor registry names.  Every ``fit`` runs a seeded k-fold
+cross-validation of each member on the training data, scores the folds
+with the chosen metric, picks the winner by `select_winner` (argmin of
+mean CV loss, ties broken by zoo order), and refits that member on the
+full data.  The ESM loop refits its predictor after every dataset
+extension, so the surrogate *family* — not just its weights — adapts as
+the dataset grows: linear models tend to win the small early rounds,
+ensembles the later ones.
+
+`kfold_indices` and `select_winner` are module-level pure functions so the
+property-test suite can pin down their invariants directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import mape, rmse
+from .protocol import PredictorBase, validate_fit_inputs
+
+__all__ = ["AdaptiveSwitchingPredictor", "kfold_indices", "select_winner"]
+
+DEFAULT_ZOO: Tuple[str, ...] = ("ridge", "cart", "rf", "gb", "mlp")
+
+_CV_METRICS = {"mape": mape, "rmse": rmse}
+
+
+def kfold_indices(
+    n: int, k: int, seed: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Seeded k-fold split of ``range(n)`` into (train, validation) pairs.
+
+    The validation folds partition ``range(n)``: pairwise disjoint, union
+    the full index set, sizes differing by at most one.  Indices inside
+    each half are sorted, so downstream slicing is order-independent of
+    the shuffle; the shuffle itself is a single ``default_rng(seed)``
+    permutation, making the split a pure function of ``(n, k, seed)``.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise ValueError(f"need at least k={k} samples, got {n}")
+    perm = np.random.default_rng(seed).permutation(n)
+    parts = np.array_split(perm, k)
+    folds = []
+    for i, part in enumerate(parts):
+        train = np.sort(np.concatenate(parts[:i] + parts[i + 1 :]))
+        folds.append((train, np.sort(part)))
+    return folds
+
+
+def select_winner(losses: Mapping[str, float], order: Sequence[str]) -> str:
+    """Argmin of ``losses`` over ``order``; earliest entry wins ties.
+
+    Non-finite losses (a member that diverged) never win unless every
+    member is non-finite, in which case the first of ``order`` is
+    returned — deterministic whatever happens.
+    """
+    if not order:
+        raise ValueError("cannot select a winner from an empty zoo")
+    best_name = order[0]
+    best_loss = np.inf
+    for name in order:
+        loss = float(losses[name])
+        if not np.isfinite(loss):
+            continue
+        if loss < best_loss:
+            best_loss = loss
+            best_name = name
+    return best_name
+
+
+class AdaptiveSwitchingPredictor(PredictorBase):
+    """Meta-predictor delegating to the CV winner of its zoo."""
+
+    KIND = "as"
+
+    def __init__(
+        self,
+        zoo: Optional[Sequence[str]] = None,
+        zoo_params: Optional[Dict[str, Dict[str, Any]]] = None,
+        cv_folds: int = 3,
+        cv_metric: str = "mape",
+        seed: int = 0,
+    ):
+        """``zoo`` lists predictor registry names (default `DEFAULT_ZOO`);
+        ``zoo_params`` overrides constructor kwargs per member, e.g.
+        ``{"mlp": {"epochs": 100}}``.  Members that accept a ``seed`` and
+        are not pinned by ``zoo_params`` inherit this predictor's."""
+        if cv_folds < 2:
+            raise ValueError(f"cv_folds must be >= 2, got {cv_folds}")
+        if cv_metric not in _CV_METRICS:
+            raise ValueError(
+                f"cv_metric must be one of {tuple(_CV_METRICS)}, "
+                f"got {cv_metric!r}"
+            )
+        self.zoo = list(DEFAULT_ZOO if zoo is None else zoo)
+        self.zoo_params = {
+            name: dict(params) for name, params in (zoo_params or {}).items()
+        }
+        if not self.zoo:
+            raise ValueError("zoo must name at least one predictor")
+        if self.KIND in self.zoo:
+            raise ValueError("the adaptive switcher cannot include itself")
+        unknown = set(self.zoo_params) - set(self.zoo)
+        if unknown:
+            raise ValueError(
+                f"zoo_params for members not in the zoo: {sorted(unknown)}"
+            )
+        self.cv_folds = cv_folds
+        self.cv_metric = cv_metric
+        self.seed = seed
+        self.winner_: Optional[str] = None
+        self.cv_losses_: Dict[str, float] = {}
+        self._model: Optional[PredictorBase] = None
+
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, name: str) -> PredictorBase:
+        """A fresh instance of zoo member ``name`` (never reused across
+        folds, so no fitted state leaks between CV rounds)."""
+        from . import get_predictor
+
+        params = dict(self.zoo_params.get(name, {}))
+        member = get_predictor(name, **params)
+        if hasattr(member, "seed") and "seed" not in params:
+            member.seed = self.seed
+        return member
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaptiveSwitchingPredictor":
+        X, y = validate_fit_inputs(X, y)
+        n = X.shape[0]
+        if n < 2:
+            raise ValueError("adaptive switching needs at least 2 samples")
+        k = min(self.cv_folds, n)
+        folds = kfold_indices(n, k, self.seed)
+        metric = _CV_METRICS[self.cv_metric]
+        self.cv_losses_ = {}
+        for name in self.zoo:
+            fold_losses = []
+            for train_idx, val_idx in folds:
+                member = self._spawn(name).fit(X[train_idx], y[train_idx])
+                fold_losses.append(metric(y[val_idx], member.predict(X[val_idx])))
+            self.cv_losses_[name] = float(np.mean(fold_losses))
+        self.winner_ = select_winner(self.cv_losses_, self.zoo)
+        self._model = self._spawn(self.winner_).fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return self._model.predict(X)
+
+    @property
+    def model(self) -> PredictorBase:
+        """The fitted winner this predictor currently delegates to."""
+        self._require_fitted("inspect the delegate")
+        return self._model
+
+    # ------------------------------------------------------------------ #
+    # Persistence: the winner's payload nests inside this one
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def _get_state(self) -> dict:
+        return {
+            "winner": self.winner_,
+            "cv_losses": {name: self.cv_losses_[name] for name in self.zoo},
+            "model": self._model.to_payload(),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        from . import predictor_from_payload
+
+        self.winner_ = str(state["winner"])
+        self.cv_losses_ = {
+            str(name): float(loss) for name, loss in state["cv_losses"].items()
+        }
+        self._model = predictor_from_payload(state["model"])

@@ -1,0 +1,241 @@
+"""CART regression trees in pure numpy, plus the zoo's tree predictor.
+
+`_RegressionTree` is the shared engine: variance-reduction splits found by
+a vectorised prefix-sum scan per feature (no Python loop over candidate
+thresholds), stored as flat parallel arrays so prediction is a branch-free
+array walk and serialisation is plain lists.  Ties between equally good
+splits resolve to the lowest feature index and then the lowest threshold,
+which is what makes tree fits — and everything stacked on them
+(`RandomForestPredictor`, `GradientBoostingPredictor`) — bit-reproducible
+across platforms.
+
+`CARTPredictor` wraps one tree in the zoo's predictor protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .protocol import PredictorBase, validate_fit_inputs
+
+__all__ = ["CARTPredictor"]
+
+_NO_FEATURE = -1  # feature index marking a leaf node
+
+
+class _RegressionTree:
+    """Flat-array CART: ``feature < 0`` marks a leaf holding ``value``."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self):
+        self.feature: np.ndarray = np.empty(0, dtype=np.int64)
+        self.threshold: np.ndarray = np.empty(0, dtype=float)
+        self.left: np.ndarray = np.empty(0, dtype=np.int64)
+        self.right: np.ndarray = np.empty(0, dtype=np.int64)
+        self.value: np.ndarray = np.empty(0, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _best_split(
+        X: np.ndarray, y: np.ndarray, min_samples_leaf: int
+    ) -> "Optional[tuple[int, float]]":
+        """(feature, threshold) minimising the children's summed SSE.
+
+        For each feature the targets are scanned in sorted feature order;
+        prefix sums give every candidate split's left/right SSE in one
+        vectorised pass.  Splits are only allowed between *distinct*
+        feature values and where both children keep ``min_samples_leaf``.
+        """
+        n = y.shape[0]
+        best_score = np.inf
+        best: Optional[tuple[int, float]] = None
+        for j in range(X.shape[1]):
+            xj = X[:, j]
+            order = np.argsort(xj, kind="stable")
+            xs, ys = xj[order], y[order]
+            # i = size of the left child, 1..n-1.
+            i = np.arange(1, n)
+            csum = np.cumsum(ys)[:-1]
+            csum2 = np.cumsum(ys * ys)[:-1]
+            total, total2 = csum[-1] + ys[-1], csum2[-1] + ys[-1] ** 2
+            sse = (
+                (csum2 - csum * csum / i)
+                + ((total2 - csum2) - (total - csum) ** 2 / (n - i))
+            )
+            valid = (
+                (xs[1:] > xs[:-1])
+                & (i >= min_samples_leaf)
+                & (n - i >= min_samples_leaf)
+            )
+            if not valid.any():
+                continue
+            sse = np.where(valid, sse, np.inf)
+            pos = int(np.argmin(sse))  # first minimum -> lowest threshold
+            if sse[pos] < best_score:  # strict -> lowest feature index wins
+                best_score = float(sse[pos])
+                t = (xs[pos] + xs[pos + 1]) / 2.0
+                if t >= xs[pos + 1]:
+                    # The midpoint of two nearly-adjacent floats can round
+                    # up to the right value; ``X <= t`` would then send
+                    # every row left and leave an empty child.  Fall back
+                    # to the left value, which splits exactly as scored.
+                    t = xs[pos]
+                best = (j, float(t))
+        return best
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+    ) -> "_RegressionTree":
+        feature, threshold, left, right, value = [], [], [], [], []
+
+        def build(idx: np.ndarray, depth: int) -> int:
+            node = len(feature)
+            feature.append(_NO_FEATURE)
+            threshold.append(0.0)
+            left.append(node)
+            right.append(node)
+            value.append(float(y[idx].mean()))
+            sub_y = y[idx]
+            if (
+                depth >= max_depth
+                or idx.size < min_samples_split
+                or np.ptp(sub_y) == 0.0
+            ):
+                return node
+            split = self._best_split(X[idx], sub_y, min_samples_leaf)
+            if split is None:
+                return node
+            j, t = split
+            go_left = X[idx, j] <= t
+            feature[node] = j
+            threshold[node] = t
+            left[node] = build(idx[go_left], depth + 1)
+            right[node] = build(idx[~go_left], depth + 1)
+            return node
+
+        build(np.arange(X.shape[0]), 0)
+        self.feature = np.asarray(feature, dtype=np.int64)
+        self.threshold = np.asarray(threshold, dtype=float)
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.value = np.asarray(value, dtype=float)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction: all rows walk the tree one level per pass
+    # ------------------------------------------------------------------ #
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            internal = self.feature[node] >= 0
+            if not internal.any():
+                break
+            j = np.where(internal, self.feature[node], 0)
+            go_left = X[np.arange(X.shape[0]), j] <= self.threshold[node]
+            step = np.where(go_left, self.left[node], self.right[node])
+            node = np.where(internal, step, node)
+        return self.value[node]
+
+    # ------------------------------------------------------------------ #
+    # Plain-data round trip
+    # ------------------------------------------------------------------ #
+
+    def to_jsonable(self) -> dict:
+        return {
+            "feature": self.feature.tolist(),
+            "threshold": self.threshold.tolist(),
+            "left": self.left.tolist(),
+            "right": self.right.tolist(),
+            "value": self.value.tolist(),
+        }
+
+    @classmethod
+    def from_jsonable(cls, d: dict) -> "_RegressionTree":
+        tree = cls()
+        tree.feature = np.asarray(d["feature"], dtype=np.int64)
+        tree.threshold = np.asarray(d["threshold"], dtype=float)
+        tree.left = np.asarray(d["left"], dtype=np.int64)
+        tree.right = np.asarray(d["right"], dtype=np.int64)
+        tree.value = np.asarray(d["value"], dtype=float)
+        return tree
+
+
+def _validate_tree_params(max_depth, min_samples_split, min_samples_leaf):
+    if max_depth < 1:
+        raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+    if min_samples_split < 2:
+        raise ValueError(
+            f"min_samples_split must be >= 2, got {min_samples_split}"
+        )
+    if min_samples_leaf < 1:
+        raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+
+
+class CARTPredictor(PredictorBase):
+    """A single variance-reduction regression tree."""
+
+    KIND = "cart"
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ):
+        # ``seed`` is accepted for protocol uniformity: a lone CART fit is
+        # deterministic, the ensembles stacked on it are where it matters.
+        _validate_tree_params(max_depth, min_samples_split, min_samples_leaf)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._tree: Optional[_RegressionTree] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CARTPredictor":
+        X, y = validate_fit_inputs(X, y)
+        self._tree = _RegressionTree().fit(
+            X,
+            y,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return self._tree.predict(X)
+
+    @property
+    def n_leaves(self) -> int:
+        self._require_fitted("count leaves")
+        return int((self._tree.feature == _NO_FEATURE).sum())
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._tree is not None
+
+    def _get_state(self) -> dict:
+        return {"tree": self._tree.to_jsonable()}
+
+    def _set_state(self, state: dict) -> None:
+        self._tree = _RegressionTree.from_jsonable(state["tree"])

@@ -1,0 +1,78 @@
+"""Regenerate ``as_golden_trace.json`` after an intentional change.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/regen_as_golden_trace.py
+
+The configuration must stay identical to ``AS_GOLDEN_CONFIG`` in
+``tests/test_switching_golden.py`` — the test suite asserts the committed
+fixture was produced by exactly that config, so drift between the two is
+caught, not silently shipped.
+
+The config is tuned so the winner genuinely changes across iterations
+(gradient boosting leads on the small early datasets, the MLP takes over
+as the loop grows them): ridge is deliberately left out of the zoo because
+latency is near-additive in FCC counts and ridge would win every round,
+which locks nothing about the switching machinery.
+"""
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from repro import ESMConfig, ESMLoop
+
+AS_GOLDEN_CONFIG = ESMConfig(
+    space="resnet",
+    device="rtx4090",
+    encoding="fcc",
+    predictor="as",
+    predictor_params={
+        "zoo": ["cart", "rf", "gb", "mlp"],
+        "zoo_params": {
+            "rf": {"n_estimators": 15},
+            "gb": {"n_estimators": 50},
+            "mlp": {"epochs": 800},
+        },
+        "cv_folds": 3,
+    },
+    acc_th=85.0,
+    n_bins=5,
+    initial_size=120,
+    extension_size=30,
+    max_iterations=6,
+    runs=15,
+    n_references=2,
+    batch_size=25,
+    seed=1,
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp) / "run"
+        result = ESMLoop(AS_GOLDEN_CONFIG, run_dir, sleep=lambda s: None).run()
+        dataset_bytes = (run_dir / "dataset.json").read_bytes()
+    report = result.report
+    fixture = {
+        "format_version": 1,
+        "kind": "as_golden_trace",
+        "config": AS_GOLDEN_CONFIG.to_dict(),
+        "report": report.to_dict(),
+        "winners": report.predictor_models(),
+        "dataset_sha256": hashlib.sha256(dataset_bytes).hexdigest(),
+        "dataset_size": len(result.dataset),
+    }
+    out = Path(__file__).parent / "as_golden_trace.json"
+    out.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out} (converged={report.converged}, "
+        f"iterations={report.n_iterations}, "
+        f"winners={report.predictor_models()}, "
+        f"final size={len(result.dataset)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

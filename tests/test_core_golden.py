@@ -89,7 +89,10 @@ class TestFixtureSchema:
                 "failing_bins",
                 "samples_added",
                 "passed",
+                "predictor_model",
             }
+            # A fixed-predictor run records its (constant) model.
+            assert record["predictor_model"] == "mlp"
 
 
 class TestGoldenTrace:
@@ -120,6 +123,7 @@ class TestGoldenTrace:
                 "failing_bins",
                 "samples_added",
                 "passed",
+                "predictor_model",
             ):
                 assert got[key] == want[key], f"iteration {want['iteration']}: {key}"
             # ... accuracies allow BLAS-level float drift, nothing more.

@@ -1,0 +1,238 @@
+"""Per-member behaviour of the predictor zoo (quality, structure, guards).
+
+The cross-cutting protocol obligations live in
+``test_predictor_contract.py``; this module checks what makes each member
+itself: ridge solves linear problems exactly, CART carves axis-aligned
+steps, the forest averages down bootstrap variance, boosting drives
+training error down round by round — and each rejects nonsense
+hyperparameters loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CARTPredictor,
+    GradientBoostingPredictor,
+    RandomForestPredictor,
+    RidgePredictor,
+    mape,
+    paper_accuracy,
+)
+
+
+def _linear(n=200, d=6, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    return X, X @ w + 3.0 + rng.normal(0, noise, n)
+
+
+def _step(n=240, seed=0):
+    """Axis-aligned piecewise-constant target: tree-friendly by design."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0.5, 10.0, 4.0) + np.where(X[:, 1] > 0.3, 2.0, 0.0)
+    return X, y
+
+
+class TestRidge:
+    def test_recovers_linear_function_nearly_exactly(self):
+        X, y = _linear()
+        pred = RidgePredictor(alpha=1e-8).fit(X[:150], y[:150]).predict(X[150:])
+        np.testing.assert_allclose(pred, y[150:], rtol=1e-5, atol=1e-5)
+
+    def test_alpha_shrinks_coefficients(self):
+        X, y = _linear(noise=0.1)
+        small = RidgePredictor(alpha=1e-6).fit(X, y)
+        large = RidgePredictor(alpha=1e3).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_constant_feature_does_not_blow_up(self):
+        X, y = _linear(n=50)
+        X[:, 2] = 7.0  # zero variance column
+        pred = RidgePredictor().fit(X, y).predict(X)
+        assert np.isfinite(pred).all()
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            RidgePredictor(alpha=-1.0)
+
+
+class TestCART:
+    def test_fits_step_function_exactly(self):
+        X, y = _step()
+        tree = CARTPredictor(max_depth=4, min_samples_leaf=1).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y)
+
+    def test_depth_one_is_a_single_split(self):
+        X, y = _step()
+        stump = CARTPredictor(max_depth=1).fit(X, y)
+        assert stump.n_leaves == 2
+        assert len(np.unique(stump.predict(X))) <= 2
+
+    def test_constant_target_yields_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 4))
+        tree = CARTPredictor().fit(X, np.full(30, 5.5))
+        assert tree.n_leaves == 1
+        np.testing.assert_array_equal(tree.predict(X), np.full(30, 5.5))
+
+    def test_min_samples_leaf_is_respected(self):
+        X, y = _step(n=64)
+        tree = CARTPredictor(max_depth=10, min_samples_leaf=8).fit(X, y)
+        leaves = tree.predict(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 8
+
+    def test_deeper_trees_fit_no_worse_on_train(self):
+        X, y = _step()
+        shallow = CARTPredictor(max_depth=2).fit(X, y).predict(X)
+        deep = CARTPredictor(max_depth=6).fit(X, y).predict(X)
+        assert ((deep - y) ** 2).mean() <= ((shallow - y) ** 2).mean() + 1e-12
+
+    def test_adjacent_float_values_never_make_an_empty_child(self):
+        # The midpoint of 1.0 and nextafter(1.0) rounds up to the right
+        # value; a naive `X <= midpoint` split would put every row left
+        # and leave a NaN leaf behind.  Regression test for that guard.
+        hi = np.nextafter(1.0, 2.0)
+        X = np.array([[1.0], [1.0], [hi], [hi]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = CARTPredictor(
+            max_depth=2, min_samples_split=2, min_samples_leaf=1
+        ).fit(X, y)
+        pred = tree.predict(X)
+        assert np.isfinite(pred).all()
+        np.testing.assert_allclose(pred, y)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            CARTPredictor(max_depth=0)
+        with pytest.raises(ValueError, match="min_samples_split"):
+            CARTPredictor(min_samples_split=1)
+        with pytest.raises(ValueError, match="min_samples_leaf"):
+            CARTPredictor(min_samples_leaf=0)
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_held_out_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(300, 5))
+        y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2 + rng.normal(0, 0.15, 300) + 3.0
+        tr, te = slice(0, 220), slice(220, None)
+        tree_err = np.abs(
+            CARTPredictor(max_depth=10, min_samples_leaf=1)
+            .fit(X[tr], y[tr])
+            .predict(X[te])
+            - y[te]
+        ).mean()
+        forest_err = np.abs(
+            RandomForestPredictor(n_estimators=40, max_depth=10, min_samples_leaf=1, seed=0)
+            .fit(X[tr], y[tr])
+            .predict(X[te])
+            - y[te]
+        ).mean()
+        assert forest_err < tree_err
+
+    def test_prediction_is_the_mean_of_its_trees(self):
+        X, y = _step(n=80)
+        forest = RandomForestPredictor(n_estimators=5, seed=1).fit(X, y)
+        per_tree = np.stack(
+            [
+                tree.predict(X[:, cols])
+                for tree, cols in zip(forest._trees, forest._features)
+            ]
+        )
+        np.testing.assert_allclose(forest.predict(X), per_tree.mean(axis=0))
+
+    def test_max_features_one_is_plain_bagging(self):
+        X, y = _step(n=60)
+        forest = RandomForestPredictor(
+            n_estimators=3, max_features=1.0, seed=0
+        ).fit(X, y)
+        for cols in forest._features:
+            np.testing.assert_array_equal(cols, np.arange(X.shape[1]))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestPredictor(n_estimators=0)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestPredictor(max_features=0.0)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestPredictor(max_features=1.5)
+
+
+class TestGradientBoosting:
+    def test_training_error_decreases_with_more_rounds(self):
+        X, y = _step()
+        few = GradientBoostingPredictor(n_estimators=5, seed=0).fit(X, y)
+        many = GradientBoostingPredictor(n_estimators=80, seed=0).fit(X, y)
+        err_few = ((few.predict(X) - y) ** 2).mean()
+        err_many = ((many.predict(X) - y) ** 2).mean()
+        assert err_many < err_few
+
+    def test_zero_rounds_equivalent_is_the_mean(self):
+        # One stump on a constant target: prediction stays at the mean.
+        X = np.random.default_rng(0).normal(size=(40, 3))
+        y = np.full(40, 2.5)
+        gb = GradientBoostingPredictor(n_estimators=1).fit(X, y)
+        np.testing.assert_allclose(gb.predict(X), y)
+
+    def test_subsampling_is_seeded(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(100, 4))
+        y = X @ np.ones(4) + rng.normal(0, 0.1, 100) + 2.0
+        kw = dict(n_estimators=20, subsample=0.6)
+        a = GradientBoostingPredictor(seed=4, **kw).fit(X, y).predict(X)
+        b = GradientBoostingPredictor(seed=4, **kw).fit(X, y).predict(X)
+        c = GradientBoostingPredictor(seed=5, **kw).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            GradientBoostingPredictor(n_estimators=0)
+        with pytest.raises(ValueError, match="learning_rate"):
+            GradientBoostingPredictor(learning_rate=0.0)
+        with pytest.raises(ValueError, match="subsample"):
+            GradientBoostingPredictor(subsample=0.0)
+
+
+class TestZooOnMeasuredData:
+    """Every member must be a *credible* latency surrogate on FCC counts."""
+
+    # Floors are honest, not flattering: 105 training samples is small for
+    # a lone tree, and latency-vs-counts is nearly linear, where ridge
+    # shines.  Measured values: ridge 98.5, cart 78.5, rf 83.6, gb 86.3.
+    @pytest.mark.parametrize(
+        "factory, floor",
+        [
+            (lambda: RidgePredictor(), 95.0),
+            (lambda: CARTPredictor(), 74.0),
+            (lambda: RandomForestPredictor(n_estimators=30), 79.0),
+            (lambda: GradientBoostingPredictor(n_estimators=80), 82.0),
+        ],
+        ids=["ridge", "cart", "rf", "gb"],
+    )
+    def test_held_out_paper_accuracy_floor(
+        self, factory, floor, small_resnet_dataset, resnet_spec
+    ):
+        train, test = small_resnet_dataset.split(0.75, rng=1)
+        predictor = factory().fit_dataset(train, "fcc", resnet_spec)
+        accuracy = paper_accuracy(
+            test.latencies,
+            predictor.predict(test.encode("fcc", resnet_spec)),
+        )
+        assert accuracy > floor, f"held-out accuracy {accuracy:.1f}%"
+
+    def test_ridge_mape_beats_tree_on_fcc(
+        self, small_resnet_dataset, resnet_spec
+    ):
+        # The simulator's latency is close to additive in block counts, so
+        # the linear member should lead the tree on this encoding.
+        train, test = small_resnet_dataset.split(0.75, rng=1)
+        X_test = test.encode("fcc", resnet_spec)
+        ridge = RidgePredictor().fit_dataset(train, "fcc", resnet_spec)
+        cart = CARTPredictor().fit_dataset(train, "fcc", resnet_spec)
+        assert mape(test.latencies, ridge.predict(X_test)) < mape(
+            test.latencies, cart.predict(X_test)
+        )

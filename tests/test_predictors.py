@@ -21,7 +21,16 @@ def _linear_toy(n=256, d=6, seed=0):
 
 class TestRegistry:
     def test_names(self):
-        assert set(list_predictors()) == {"mlp", "lut", "lut+bias"}
+        assert set(list_predictors()) == {
+            "mlp",
+            "lut",
+            "lut+bias",
+            "ridge",
+            "cart",
+            "rf",
+            "gb",
+            "as",
+        }
 
     def test_instances(self):
         assert isinstance(get_predictor("mlp"), MLPPredictor)

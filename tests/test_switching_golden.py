@@ -1,0 +1,215 @@
+"""Golden-trace and acceptance tests for the adaptive switching loop.
+
+Two locks on `ESMLoop` driving an `AdaptiveSwitchingPredictor`:
+
+* **Golden trace** — a seeded run whose zoo deliberately omits ridge (the
+  runaway favourite on near-additive FCC counts) so the per-refit CV has
+  to discriminate among the nonlinear members.  The committed fixture
+  ``tests/fixtures/as_golden_trace.json`` pins the full report, the
+  per-iteration *winner sequence* (which genuinely changes hands:
+  gradient boosting leads on the small early datasets, the MLP takes over
+  as the loop grows them), and the final dataset bytes.
+* **Acceptance** — on the ESM golden config, swapping the fixed MLP for
+  the adaptive switcher must not cost accuracy: the adaptive run's final
+  surrogate achieves a held-out MAPE no worse than the fixed-MLP run on
+  the same seed.
+
+Regenerate the fixture after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/fixtures/regen_as_golden_trace.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ESMConfig, ESMLoop, mape, space_by_name
+from repro.archspace.sampling import RandomSampler
+from repro.hardware.simulator import SimulatedDevice
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "as_golden_trace.json"
+
+AS_GOLDEN_CONFIG = ESMConfig(
+    space="resnet",
+    device="rtx4090",
+    encoding="fcc",
+    predictor="as",
+    predictor_params={
+        "zoo": ["cart", "rf", "gb", "mlp"],
+        "zoo_params": {
+            "rf": {"n_estimators": 15},
+            "gb": {"n_estimators": 50},
+            "mlp": {"epochs": 800},
+        },
+        "cv_folds": 3,
+    },
+    acc_th=85.0,
+    n_bins=5,
+    initial_size=120,
+    extension_size=30,
+    max_iterations=6,
+    runs=15,
+    n_references=2,
+    batch_size=25,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_raw():
+    assert FIXTURE_PATH.exists(), "committed adaptive golden-trace fixture missing"
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("as-golden") / "run"
+    return ESMLoop(AS_GOLDEN_CONFIG, run_dir, sleep=lambda s: None).run()
+
+
+class TestFixtureSchema:
+    """Schema lock: the fixture's shape is part of the contract."""
+
+    def test_header(self, fixture_raw):
+        assert fixture_raw["format_version"] == 1
+        assert fixture_raw["kind"] == "as_golden_trace"
+        assert set(fixture_raw) == {
+            "format_version",
+            "kind",
+            "config",
+            "report",
+            "winners",
+            "dataset_sha256",
+            "dataset_size",
+        }
+
+    def test_config_matches_the_test_constant(self, fixture_raw):
+        assert ESMConfig.from_dict(fixture_raw["config"]) == AS_GOLDEN_CONFIG
+
+    def test_winners_column_is_consistent_with_the_report(self, fixture_raw):
+        assert fixture_raw["winners"] == [
+            record["predictor_model"]
+            for record in fixture_raw["report"]["iterations"]
+        ]
+
+    def test_fixture_exercises_an_actual_switch(self, fixture_raw):
+        # The whole point of this trace: if one member won every round the
+        # fixture would lock nothing about the switching machinery.
+        assert len(set(fixture_raw["winners"])) >= 2
+
+    def test_winners_come_from_the_configured_zoo(self, fixture_raw):
+        zoo = fixture_raw["config"]["predictor_params"]["zoo"]
+        assert set(fixture_raw["winners"]) <= set(zoo)
+
+
+class TestGoldenTrace:
+    def test_converges_within_budget(self, golden_run):
+        report = golden_run.report
+        assert report.converged
+        assert report.n_iterations <= AS_GOLDEN_CONFIG.max_iterations
+
+    def test_winner_sequence_is_byte_stable(self, golden_run, fixture_raw):
+        assert golden_run.report.predictor_models() == fixture_raw["winners"]
+
+    def test_trace_matches_fixture(self, golden_run, fixture_raw):
+        produced = golden_run.report.to_dict()
+        expected = fixture_raw["report"]
+        assert produced["config"] == expected["config"]
+        assert produced["bins"] == expected["bins"]
+        assert produced["converged"] == expected["converged"]
+        assert produced["final_dataset_size"] == expected["final_dataset_size"]
+        assert len(produced["iterations"]) == len(expected["iterations"])
+        for got, want in zip(produced["iterations"], expected["iterations"]):
+            # Discrete decisions are exact ...
+            for key in (
+                "iteration",
+                "dataset_size",
+                "train_size",
+                "test_size",
+                "failing_bins",
+                "samples_added",
+                "passed",
+                "predictor_model",
+            ):
+                assert got[key] == want[key], f"iteration {want['iteration']}: {key}"
+            # ... accuracies allow BLAS-level float drift, nothing more.
+            assert got["bin_accuracies"] == pytest.approx(
+                want["bin_accuracies"], rel=1e-9
+            )
+
+    def test_final_dataset_size_locked(self, golden_run, fixture_raw):
+        assert len(golden_run.dataset) == fixture_raw["dataset_size"]
+
+    def test_measurement_bytes_locked(self, golden_run, fixture_raw):
+        dataset_bytes = (golden_run.run_dir / "dataset.json").read_bytes()
+        assert (
+            hashlib.sha256(dataset_bytes).hexdigest()
+            == fixture_raw["dataset_sha256"]
+        )
+
+    def test_saved_predictor_is_the_switcher(self, golden_run):
+        from repro import AdaptiveSwitchingPredictor, load_predictor
+
+        loaded = load_predictor(golden_run.run_dir / "predictor.json")
+        assert isinstance(loaded, AdaptiveSwitchingPredictor)
+        assert loaded.winner_ == golden_run.report.predictor_models()[-1]
+
+
+class TestAdaptiveVersusFixedMLP:
+    """Switching must not cost accuracy against the fixed-MLP baseline."""
+
+    # The ESM golden config, with only the predictor column swapped.
+    BASE = dict(
+        space="resnet",
+        device="rtx4090",
+        encoding="fcc",
+        acc_th=82.0,
+        n_bins=5,
+        initial_size=120,
+        extension_size=30,
+        max_iterations=6,
+        runs=15,
+        n_references=2,
+        batch_size=25,
+        seed=1,
+    )
+
+    def _final_mape(self, tmp_path_factory, predictor, params):
+        cfg = ESMConfig(predictor=predictor, predictor_params=params, **self.BASE)
+        run_dir = tmp_path_factory.mktemp(f"as-vs-{predictor}") / "run"
+        result = ESMLoop(cfg, run_dir, sleep=lambda s: None).run()
+        spec = space_by_name("resnet")
+        device = SimulatedDevice("rtx4090", seed=0)
+        sample = RandomSampler(spec, rng=np.random.default_rng(2024)).sample_batch(150)
+        y_true = np.array([device.true_latency(c) for c in sample])
+        return result, mape(y_true, result.latency_oracle().latency_batch(sample))
+
+    def test_adaptive_final_mape_not_worse_than_fixed_mlp(self, tmp_path_factory):
+        mlp_run, mlp_mape = self._final_mape(
+            tmp_path_factory, "mlp", {"epochs": 600}
+        )
+        as_run, as_mape = self._final_mape(
+            tmp_path_factory,
+            "as",
+            {
+                "zoo_params": {
+                    "rf": {"n_estimators": 15},
+                    "gb": {"n_estimators": 50},
+                    "mlp": {"epochs": 600},
+                },
+                "cv_folds": 3,
+            },
+        )
+        assert mlp_run.converged and as_run.converged
+        # Every adaptive iteration records which member won its CV.
+        assert all(
+            winner in ("ridge", "cart", "rf", "gb", "mlp")
+            for winner in as_run.report.predictor_models()
+        )
+        assert as_mape <= mlp_mape, (
+            f"adaptive switching lost accuracy: final MAPE {as_mape:.2f}% "
+            f"vs fixed-MLP {mlp_mape:.2f}%"
+        )

@@ -1,0 +1,144 @@
+"""Fleet dispatcher overhead and the byte-identity acceptance check.
+
+Runs the same faulty campaign twice — serial `CampaignRunner`, then a
+4-session `FleetRunner` whose seeded fault plan makes two sessions 10x
+stragglers that the circuit breakers retire — and records:
+
+* real wall-clock of both paths (the fleet schedules on a virtual clock,
+  so its overhead is pure dispatcher bookkeeping);
+* the *simulated* fleet makespan, i.e. what the campaign would have cost
+  on real boards, stragglers, deadline kills, and cooldowns included;
+* the health ledger digest (retired sessions, re-dispatches, timeouts);
+* ``bit_identical`` — every shard byte-for-byte equal between the two
+  runs, the invariant the whole subsystem exists to preserve.  The run
+  also asserts the acceptance shape: two sessions actually retired.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from .common import sample_configs, write_result
+
+FAMILY = "densenet"
+DEVICE = "raspberrypi4"
+CAMPAIGN_SEED = 42
+SESSIONS = 4
+
+# With CAMPAIGN_SEED and straggler_prob=0.5, sessions 0 and 1 draw the
+# straggler fate, time out on every dispatch, and retire after two
+# breaker openings each — the acceptance scenario.
+FLEET_KNOBS = dict(
+    sessions=SESSIONS,
+    deadline_s=2.0,
+    nominal_batch_s=1.0,
+    breaker_cooldown_s=2.0,
+)
+
+
+def _make_runner(cls, configs, spec, root, *, batch_size, runs, **kwargs):
+    from repro import (
+        FaultPlan,
+        FaultyDevice,
+        MeasurementProtocol,
+        ReferenceSet,
+        SimulatedDevice,
+    )
+
+    plan = FaultPlan(
+        throttle_prob=0.35,
+        throttle_factor=1.25,
+        error_prob=0.03,
+        timeout_prob=0.02,
+        corrupt_prob=0.04,
+        straggler_prob=0.5,
+        straggler_factor=10.0,
+    )
+    device = FaultyDevice(SimulatedDevice(DEVICE), plan, seed=0)
+    return cls(
+        device,
+        configs,
+        root,
+        ReferenceSet.from_space(spec, k=2, rng=11),
+        protocol=MeasurementProtocol(runs=runs),
+        batch_size=batch_size,
+        seed=CAMPAIGN_SEED,
+        sleep=lambda s: None,
+        **kwargs,
+    )
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import CampaignRunner, FleetRunner
+
+    n, batch_size, runs = (60, 5, 25) if smoke else (200, 10, 150)
+    configs, spec = sample_configs(FAMILY, n, seed=7)
+
+    root = Path(tempfile.mkdtemp(prefix="bench_fleet_"))
+    try:
+        serial = _make_runner(
+            CampaignRunner, configs, spec, root / "serial",
+            batch_size=batch_size, runs=runs,
+        )
+        t0 = time.perf_counter()
+        serial.run()
+        serial_s = time.perf_counter() - t0
+
+        fleet = _make_runner(
+            FleetRunner, configs, spec, root / "fleet",
+            batch_size=batch_size, runs=runs, **FLEET_KNOBS,
+        )
+        t0 = time.perf_counter()
+        fleet.run()
+        fleet_s = time.perf_counter() - t0
+
+        bit_identical = all(
+            (root / "serial" / "shards" / f"batch-{i:04d}.json").read_bytes()
+            == (root / "fleet" / "shards" / f"batch-{i:04d}.json").read_bytes()
+            for i in range(serial.n_batches)
+        )
+        health = fleet.health
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    assert health.retired == [0, 1], (
+        f"acceptance shape broken: retired sessions {health.retired}"
+    )
+
+    return write_result(
+        "fleet",
+        params={
+            "family": FAMILY,
+            "device": DEVICE,
+            "n_configs": n,
+            "batch_size": batch_size,
+            "runs": runs,
+            "seed": CAMPAIGN_SEED,
+            "smoke": smoke,
+            **FLEET_KNOBS,
+        },
+        wall_s=fleet_s,
+        per_item_us=fleet_s / n * 1e6,
+        cache_hit_rate=None,
+        out_dir=out_dir,
+        serial_wall_s=round(serial_s, 6),
+        dispatch_overhead_s=round(fleet_s - serial_s, 6),
+        simulated_makespan_s=health.makespan_s,
+        n_batches=serial.n_batches,
+        sessions=SESSIONS,
+        retired_sessions=health.retired,
+        surviving_sessions=health.surviving,
+        redispatches=health.redispatches,
+        timeouts=sum(s.timeouts for s in health.sessions),
+        quorum=health.quorum,
+        fleet_qc_passed=health.qc_passed,
+        bit_identical=bool(bit_identical),
+    )
+
+
+if __name__ == "__main__":
+    path, payload = run()
+    print(path)

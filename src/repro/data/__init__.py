@@ -1,5 +1,20 @@
-"""Latency dataset container and JSON (de)serialisation."""
+"""Latency dataset container, JSON (de)serialisation, and sharded storage."""
 
 from .dataset import FORMAT_VERSION, DatasetError, LatencyDataset, LatencySample
+from .sharding import (
+    SHARD_MANIFEST_VERSION,
+    RepairReport,
+    ShardedLatencyDataset,
+    ShardInfo,
+)
 
-__all__ = ["LatencyDataset", "LatencySample", "DatasetError", "FORMAT_VERSION"]
+__all__ = [
+    "LatencyDataset",
+    "LatencySample",
+    "DatasetError",
+    "FORMAT_VERSION",
+    "ShardedLatencyDataset",
+    "ShardInfo",
+    "RepairReport",
+    "SHARD_MANIFEST_VERSION",
+]

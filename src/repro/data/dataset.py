@@ -175,7 +175,17 @@ class LatencyDataset:
                 f"unsupported dataset format_version {version!r} "
                 f"(expected {FORMAT_VERSION})"
             )
-        return cls([LatencySample.from_dict(s) for s in d["samples"]])
+        samples = []
+        for index, raw in enumerate(d["samples"]):
+            try:
+                samples.append(LatencySample.from_dict(raw))
+            except DatasetError as exc:
+                raise DatasetError(f"sample {index}: {exc}") from exc
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise DatasetError(
+                    f"sample {index} violates the sample schema: {exc!r}"
+                ) from exc
+        return cls(samples)
 
     def save(self, path: Union[str, Path]) -> None:
         """Serialise to ``path`` atomically (temp file + `os.replace`)."""

@@ -1,0 +1,329 @@
+"""Sharded latency datasets: manifest + sha256 shards, built for millions.
+
+A single ``LatencyDataset`` JSON file stops being a sensible container
+somewhere around 10^5 samples: every load parses everything, every save
+rewrites everything, and one flipped bit silently poisons the whole file.
+`ShardedLatencyDataset` is the scale-out layout::
+
+    dataset_dir/
+      manifest.json            # shard names, sizes, sha256 digests
+      shard-00000.json         # plain LatencyDataset schema, append-only
+      shard-00001.json
+      ...
+
+Properties the fleet/campaign machinery leans on:
+
+* **Atomic appends** — ``append_shard`` writes the shard file atomically
+  (temp + ``os.replace``) and only then commits the manifest, also
+  atomically.  A crash between the two leaves an *orphan* shard file the
+  next append overwrites; the manifest never references bytes that are
+  not durably on disk.
+* **Streaming iteration** — ``__iter__`` / ``iter_shards`` load one shard
+  at a time, so a million-sample dataset is consumed at constant memory;
+  nothing ever materialises the full sample list unless you ask
+  (``to_dataset``).
+* **Integrity** — every manifest entry carries the shard's sha256.
+  ``verify()`` names each bad shard with expected-vs-actual digests;
+  reads check the digest before parsing and raise `DatasetError` naming
+  the shard, the digests, and (for schema failures) the failing sample
+  index.  ``repair(strict=False)`` quarantines corrupt shards (renamed to
+  ``*.corrupt``) and rewrites the manifest so the healthy remainder keeps
+  serving; ``strict=True`` refuses and raises instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..utils import atomic_write_text
+from .dataset import DatasetError, LatencyDataset, LatencySample
+
+__all__ = [
+    "SHARD_MANIFEST_VERSION",
+    "ShardInfo",
+    "ShardedLatencyDataset",
+    "RepairReport",
+]
+
+SHARD_MANIFEST_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One manifest line: a shard's name, size, and content digest."""
+
+    name: str
+    n_samples: int
+    sha256: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_samples": self.n_samples,
+            "sha256": self.sha256,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardInfo":
+        return cls(
+            name=str(d["name"]),
+            n_samples=int(d["n_samples"]),
+            sha256=str(d["sha256"]),
+        )
+
+
+@dataclass
+class RepairReport:
+    """What ``repair`` found and did."""
+
+    checked: int
+    dropped: List[str]  # shard names quarantined (renamed *.corrupt)
+    kept_samples: int
+
+    @property
+    def healthy(self) -> bool:
+        return not self.dropped
+
+
+class ShardedLatencyDataset:
+    """An append-only, integrity-checked, streamable dataset directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.manifest_path = self.root / "manifest.json"
+
+    # ----------------------------- manifest ---------------------------- #
+
+    @classmethod
+    def create(cls, root: Union[str, Path]) -> "ShardedLatencyDataset":
+        """Initialise an empty sharded dataset (idempotent on rerun)."""
+        store = cls(root)
+        if store.manifest_path.exists():
+            store._load_manifest()  # validates version
+            return store
+        store.root.mkdir(parents=True, exist_ok=True)
+        store._save_manifest([])
+        return store
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: LatencyDataset,
+        root: Union[str, Path],
+        shard_size: int = 10_000,
+    ) -> "ShardedLatencyDataset":
+        """Shard an in-memory dataset, ``shard_size`` samples per shard."""
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        store = cls.create(root)
+        for lo in range(0, len(dataset), shard_size):
+            store.append_shard(dataset.samples[lo : lo + shard_size])
+        return store
+
+    def _load_manifest(self) -> List[ShardInfo]:
+        try:
+            text = self.manifest_path.read_text()
+        except FileNotFoundError:
+            raise DatasetError(
+                f"sharded dataset manifest {self.manifest_path} does not exist"
+            ) from None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(
+                f"sharded dataset manifest {self.manifest_path} is not valid "
+                f"JSON (truncated or corrupted write?): {exc}"
+            ) from exc
+        version = payload.get("manifest_version")
+        if version != SHARD_MANIFEST_VERSION:
+            raise DatasetError(
+                f"sharded dataset manifest {self.manifest_path} has "
+                f"unsupported manifest_version {version!r} "
+                f"(expected {SHARD_MANIFEST_VERSION})"
+            )
+        return [ShardInfo.from_dict(s) for s in payload.get("shards", [])]
+
+    def _save_manifest(self, shards: Sequence[ShardInfo]) -> None:
+        payload = {
+            "manifest_version": SHARD_MANIFEST_VERSION,
+            "n_samples": sum(s.n_samples for s in shards),
+            "n_shards": len(shards),
+            "shards": [s.to_dict() for s in shards],
+        }
+        atomic_write_text(self.manifest_path, json.dumps(payload, indent=2))
+
+    @property
+    def shards(self) -> List[ShardInfo]:
+        return self._load_manifest()
+
+    def shard_path(self, name: str) -> Path:
+        return self.root / name
+
+    def __len__(self) -> int:
+        return sum(s.n_samples for s in self._load_manifest())
+
+    # ------------------------------ writes ----------------------------- #
+
+    def append_shard(self, samples: Sequence[LatencySample]) -> ShardInfo:
+        """Durably append one shard: shard file first, then the manifest.
+
+        An interrupt after the shard write but before the manifest commit
+        leaves an orphan file at the next shard name; the next append
+        simply overwrites it (same atomic replace), so the torn write is
+        invisible — the manifest is always the single source of truth.
+        """
+        if not samples:
+            raise ValueError("refusing to append an empty shard")
+        shards = self._load_manifest()
+        name = f"shard-{len(shards):05d}.json"
+        text = json.dumps(LatencyDataset(samples).to_dict())
+        atomic_write_text(self.shard_path(name), text)
+        info = ShardInfo(
+            name=name, n_samples=len(samples), sha256=_sha256(text)
+        )
+        self._save_manifest([*shards, info])
+        return info
+
+    def extend(
+        self, samples: Sequence[LatencySample], shard_size: int = 10_000
+    ) -> List[ShardInfo]:
+        """Append many samples as consecutive ``shard_size`` shards."""
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        samples = list(samples)
+        return [
+            self.append_shard(samples[lo : lo + shard_size])
+            for lo in range(0, len(samples), shard_size)
+        ]
+
+    # ------------------------------ reads ------------------------------ #
+
+    def read_shard(self, info: ShardInfo) -> LatencyDataset:
+        """One shard, digest-checked before parsing.
+
+        Raises `DatasetError` naming the shard and both digests on a
+        sha256 mismatch, and delegating to `LatencyDataset` diagnostics
+        (file, failing sample index) on schema violations.
+        """
+        path = self.shard_path(info.name)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise DatasetError(
+                f"shard {path} is named by the manifest but missing on disk"
+            ) from None
+        actual = _sha256(text)
+        if actual != info.sha256:
+            raise DatasetError(
+                f"shard {path} is corrupt: manifest expects sha256 "
+                f"{info.sha256}, file hashes to {actual}"
+            )
+        return LatencyDataset.load(path)
+
+    def iter_shards(self) -> Iterator[LatencyDataset]:
+        """Stream the dataset one digest-checked shard at a time."""
+        for info in self._load_manifest():
+            yield self.read_shard(info)
+
+    def __iter__(self) -> Iterator[LatencySample]:
+        for shard in self.iter_shards():
+            yield from shard
+
+    def to_dataset(self) -> LatencyDataset:
+        """Materialise everything (only sensible for small datasets)."""
+        merged = LatencyDataset()
+        for shard in self.iter_shards():
+            merged.extend(shard.samples)
+        return merged
+
+    # ---------------------------- integrity ---------------------------- #
+
+    def verify(self) -> List[str]:
+        """Every integrity problem, one human-readable line each.
+
+        Returns an empty list for a healthy dataset; never raises — this
+        is the read-only diagnosis half of ``repair``.
+        """
+        problems: List[str] = []
+        for info in self._load_manifest():
+            path = self.shard_path(info.name)
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                problems.append(f"shard {info.name}: missing from disk")
+                continue
+            actual = _sha256(text)
+            if actual != info.sha256:
+                problems.append(
+                    f"shard {info.name}: sha256 mismatch "
+                    f"(expected {info.sha256}, actual {actual})"
+                )
+                continue
+            try:
+                shard = LatencyDataset.load(path)
+            except DatasetError as exc:
+                problems.append(f"shard {info.name}: {exc}")
+                continue
+            if len(shard) != info.n_samples:
+                problems.append(
+                    f"shard {info.name}: manifest says {info.n_samples} "
+                    f"samples, file holds {len(shard)}"
+                )
+        return problems
+
+    def repair(self, strict: bool = True) -> RepairReport:
+        """Restore manifest/disk agreement.
+
+        ``strict=True`` (the default) raises `DatasetError` listing every
+        problem — nothing is touched.  ``strict=False`` quarantines each
+        corrupt or missing shard (renamed to ``<name>.corrupt`` when
+        present) and rewrites the manifest over the healthy remainder, so
+        a partially damaged million-sample dataset degrades to a smaller
+        dataset instead of an unreadable one.
+        """
+        shards = self._load_manifest()
+        healthy: List[ShardInfo] = []
+        dropped: List[str] = []
+        problems: List[str] = []
+        for info in shards:
+            path = self.shard_path(info.name)
+            problem: Optional[str] = None
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                problem = f"shard {info.name}: missing from disk"
+                text = None
+            if text is not None:
+                actual = _sha256(text)
+                if actual != info.sha256:
+                    problem = (
+                        f"shard {info.name}: sha256 mismatch "
+                        f"(expected {info.sha256}, actual {actual})"
+                    )
+            if problem is None:
+                healthy.append(info)
+                continue
+            problems.append(problem)
+            dropped.append(info.name)
+            if not strict and text is not None:
+                path.replace(path.with_suffix(path.suffix + ".corrupt"))
+        if problems and strict:
+            raise DatasetError(
+                "sharded dataset is corrupt (rerun with strict=False to "
+                "quarantine):\n  " + "\n  ".join(problems)
+            )
+        if dropped:
+            self._save_manifest(healthy)
+        return RepairReport(
+            checked=len(shards),
+            dropped=dropped,
+            kept_samples=sum(s.n_samples for s in healthy),
+        )

@@ -42,6 +42,7 @@ import numpy as np
 from ..archspace.config import ArchConfig
 from ..data.dataset import LatencyDataset, LatencySample
 from ..hardware.errors import MeasurementError
+from .clock import Clock, SystemClock
 from .protocol import MeasurementProtocol
 from .reference import ReferenceSet
 from .report import AttemptRecord, BatchRecord, CampaignReport
@@ -50,6 +51,7 @@ from .storage import MANIFEST_VERSION, CampaignStore
 __all__ = ["CampaignError", "CampaignResult", "CampaignRunner"]
 
 _ENROLL_SLOT = 0  # batch-rng slot reserved for baseline enrollment
+_JITTER_SLOT = 0x6A17  # namespace for backoff-jitter streams (≠ any batch slot)
 
 
 class CampaignError(RuntimeError):
@@ -86,6 +88,7 @@ class _BatchTask:
     max_transient_retries: int
     backoff_s: float
     backoff_factor: float
+    backoff_jitter: float
     device_name: str
 
 
@@ -160,6 +163,25 @@ def _run_attempt(
     return samples, ref_measured, record
 
 
+def _backoff_with_jitter(task: _BatchTask, attempt: int) -> float:
+    """The post-QC-failure sleep for ``attempt``: exponential, jittered.
+
+    The jitter multiplier is drawn from a dedicated per-(batch, attempt)
+    stream — *not* the measurement stream, which must stay byte-aligned
+    with jitterless runs — so the whole backoff schedule is reproducible
+    from the campaign seed alone, and desynchronises retries across a
+    fleet of concurrently failing batches the way production jitter is
+    meant to.
+    """
+    backoff = task.backoff_s * task.backoff_factor**attempt
+    if backoff > 0 and task.backoff_jitter > 0:
+        u = np.random.default_rng(
+            [task.seed, _JITTER_SLOT, task.index + 1, attempt]
+        ).random()
+        backoff *= 1.0 + task.backoff_jitter * (2.0 * u - 1.0)
+    return backoff
+
+
 def _execute_batch(
     task: _BatchTask, sleep: Callable[[float], None] = time.sleep
 ) -> Tuple[List[LatencySample], BatchRecord]:
@@ -169,7 +191,7 @@ def _execute_batch(
     for attempt in range(task.max_qc_retries + 1):
         samples, _, record = _run_attempt(task, attempt)
         if not record.qc_passed and attempt < task.max_qc_retries:
-            backoff = task.backoff_s * task.backoff_factor**attempt
+            backoff = _backoff_with_jitter(task, attempt)
             if backoff > 0:
                 sleep(backoff)
             record = AttemptRecord(**{**record.to_dict(), "backoff_s": backoff})
@@ -222,7 +244,9 @@ class CampaignRunner:
         max_transient_retries: int = 3,
         backoff_s: float = 0.25,
         backoff_factor: float = 2.0,
-        sleep: Callable[[float], None] = time.sleep,
+        backoff_jitter: float = 0.1,
+        sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Clock] = None,
         device_name: Optional[str] = None,
         workers: int = 1,
         mp_context: Optional[str] = None,
@@ -235,6 +259,8 @@ class CampaignRunner:
             raise ValueError("retry budgets must be >= 0")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
         self.device = device
         self.configs = list(configs)
         self.store = CampaignStore(campaign_dir)
@@ -247,7 +273,13 @@ class CampaignRunner:
         self.max_transient_retries = int(max_transient_retries)
         self.backoff_s = float(backoff_s)
         self.backoff_factor = float(backoff_factor)
-        self.sleep = sleep
+        self.backoff_jitter = float(backoff_jitter)
+        # Backoff sleeps go through an injectable clock so tests (and the
+        # fleet's virtual-time dispatcher) never block on real time.  An
+        # explicit ``sleep=`` callable still wins, for callers that predate
+        # the clock.
+        self.clock: Clock = SystemClock() if clock is None else clock
+        self.sleep = self.clock.sleep if sleep is None else sleep
         self.workers = int(workers)
         # Pool start method: "spawn" is the portable, always-safe default;
         # "fork" starts workers in milliseconds on POSIX (they inherit the
@@ -317,6 +349,7 @@ class CampaignRunner:
             max_transient_retries=self.max_transient_retries,
             backoff_s=self.backoff_s,
             backoff_factor=self.backoff_factor,
+            backoff_jitter=self.backoff_jitter,
             device_name=self.device_name,
         )
 
@@ -405,17 +438,7 @@ class CampaignRunner:
         """
         started = time.monotonic()
         manifest = self._load_or_init_manifest()
-        pending: List[int] = []
-        for index in range(self.n_batches):
-            recorded = manifest["batches"].get(str(index))
-            if recorded is not None and self.store.has_shard(index):
-                # Completed by an earlier process (or earlier call): skip.
-                if not recorded.get("resumed"):
-                    recorded["resumed"] = True
-                continue
-            if max_batches is not None and len(pending) >= max_batches:
-                break
-            pending.append(index)
+        pending = self._pending_batches(manifest, max_batches)
 
         if self.workers > 1 and len(pending) > 1:
             self._run_parallel(pending, manifest)
@@ -432,6 +455,23 @@ class CampaignRunner:
             if self.store.has_shard(index):
                 dataset.extend(self.store.read_shard(index).samples)
         return CampaignResult(dataset=dataset, report=report)
+
+    def _pending_batches(
+        self, manifest: dict, max_batches: Optional[int] = None
+    ) -> List[int]:
+        """Batches not yet durably committed, marking inherited ones."""
+        pending: List[int] = []
+        for index in range(self.n_batches):
+            recorded = manifest["batches"].get(str(index))
+            if recorded is not None and self.store.has_shard(index):
+                # Completed by an earlier process (or earlier call): skip.
+                if not recorded.get("resumed"):
+                    recorded["resumed"] = True
+                continue
+            if max_batches is not None and len(pending) >= max_batches:
+                break
+            pending.append(index)
+        return pending
 
     def _commit_batch(
         self,
@@ -453,20 +493,39 @@ class CampaignRunner:
         )
         self.store.save_manifest(manifest)
 
+    def _record_degradation(self, manifest: dict, kind: str, **details) -> None:
+        """Durably note that the campaign survived an executor failure.
+
+        The entry rides in the manifest (and therefore in every report
+        built from it, including after a resume) so "the pool died and we
+        limped home serially" is visible in the provenance, not just in a
+        log nobody kept.
+        """
+        entry = {"kind": kind, **details}
+        manifest.setdefault("degradations", []).append(entry)
+        self.store.save_manifest(manifest)
+
     def _run_parallel(self, pending: List[int], manifest: dict) -> None:
         """Execute ``pending`` batches on a process pool, committing each
-        as it completes.  Falls back to the sequential path when no pool
-        can be created on this platform (or the pool's workers die before
-        producing results, e.g. spawn re-import is impossible); batches
-        already committed by the pool are never re-measured."""
+        as it completes.  Falls back to the sequential path — recording the
+        degradation — when no pool can be created on this platform, or when
+        the pool breaks mid-campaign (a worker segfaults, is OOM-killed, or
+        otherwise dies); batches already committed by the pool are never
+        re-measured, only the still-pending ones rerun serially."""
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending)),
                 mp_context=multiprocessing.get_context(self.mp_context),
             )
-        except (ImportError, NotImplementedError, OSError, ValueError):
+        except (ImportError, NotImplementedError, OSError, ValueError) as exc:
             # ValueError: the requested start method does not exist on
             # this platform (e.g. "fork" on Windows) — run sequentially.
+            self._record_degradation(
+                manifest,
+                "pool_unavailable",
+                error=f"{type(exc).__name__}: {exc}",
+                pending=list(pending),
+            )
             self._run_serial(pending, manifest)
             return
         try:
@@ -479,8 +538,21 @@ class CampaignRunner:
                     index = futures[future]
                     samples, record = future.result()
                     self._commit_batch(index, samples, record, manifest)
-        except BrokenProcessPool:
-            self._run_serial(pending, manifest)
+        except BrokenProcessPool as exc:
+            still_pending = [
+                index
+                for index in pending
+                if str(index) not in manifest["batches"]
+                or not self.store.has_shard(index)
+            ]
+            self._record_degradation(
+                manifest,
+                "broken_process_pool",
+                error=f"{type(exc).__name__}: {exc}",
+                completed_before_failure=len(pending) - len(still_pending),
+                pending=still_pending,
+            )
+            self._run_serial(still_pending, manifest)
 
     def _run_serial(self, pending: List[int], manifest: dict) -> None:
         for index in pending:
@@ -513,4 +585,5 @@ class CampaignRunner:
             drift_threshold=self.drift_threshold,
             max_qc_retries=self.max_qc_retries,
             batches=batches,
+            degradations=[dict(x) for x in manifest.get("degradations", [])],
         )

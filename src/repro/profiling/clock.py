@@ -1,0 +1,155 @@
+"""Injectable clocks: real time for production, virtual time for tests.
+
+Two families live here:
+
+* The synchronous `Clock` protocol (``monotonic()`` + ``sleep()``) used by
+  `CampaignRunner` for QC-retry backoff.  `SystemClock` is the production
+  implementation; `FakeClock` advances a virtual now() instead of
+  sleeping and records every requested sleep, so retry/backoff tests run
+  in microseconds and can assert the exact schedule.
+
+* The asynchronous clocks used by the fleet dispatcher
+  (`repro.profiling.fleet`).  `AsyncSystemClock` delegates to
+  ``asyncio.sleep``.  `VirtualClock` is a deterministic discrete-event
+  clock: coroutines register as *participants*, and whenever every
+  participant is parked in ``sleep()`` the clock wakes exactly one — the
+  earliest ``(wake_time, arrival_order)`` — and advances virtual time to
+  it.  Scheduling therefore depends only on the durations the dispatcher
+  computes (which are seeded), never on host load, so an entire fleet
+  campaign with stragglers, deadlines, and circuit-breaker cooldowns
+  replays identically on every machine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import List, Protocol, Tuple, runtime_checkable
+
+__all__ = [
+    "AsyncSystemClock",
+    "Clock",
+    "FakeClock",
+    "SystemClock",
+    "VirtualClock",
+]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the synchronous retry machinery needs from a clock."""
+
+    def monotonic(self) -> float: ...  # pragma: no cover - protocol
+
+    def sleep(self, seconds: float) -> None: ...  # pragma: no cover
+
+
+class SystemClock:
+    """The real wall clock."""
+
+    @staticmethod
+    def monotonic() -> float:
+        return time.monotonic()
+
+    @staticmethod
+    def sleep(seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class FakeClock:
+    """A virtual synchronous clock: sleeps advance time instead of passing it."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: List[float] = []  # every duration requested, in order
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self._now += max(0.0, float(seconds))
+
+
+class AsyncSystemClock:
+    """Real time for a fleet dispatched against actual hardware."""
+
+    @staticmethod
+    def now() -> float:
+        return time.monotonic()
+
+    @staticmethod
+    async def sleep(seconds: float) -> None:
+        await asyncio.sleep(max(0.0, seconds))
+
+    # Participant bookkeeping is a virtual-clock concept; real time flows
+    # whether or not anyone is watching.
+    def add_participant(self) -> None:
+        pass
+
+    def remove_participant(self) -> None:
+        pass
+
+
+class VirtualClock:
+    """Deterministic discrete-event time for asyncio coroutines.
+
+    Every coroutine that may block on this clock must bracket its life
+    with ``add_participant()`` / ``remove_participant()``.  ``sleep``
+    parks the caller; once *all* registered participants are parked (or
+    deregistered), the earliest sleeper is woken and ``now()`` jumps to
+    its wake time.  Ties break on arrival order, so the interleaving is a
+    pure function of the requested durations.
+
+    The non-obvious invariant: a participant doing synchronous work
+    between awaits blocks every advance (it is active, not sleeping),
+    which is exactly the semantics of a single-threaded event loop — the
+    virtual clock never runs ahead of computation it should have waited
+    for.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: List[Tuple[float, int, asyncio.Future]] = []
+        self._seq = itertools.count()
+        self._participants = 0
+        self._sleeping = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def add_participant(self) -> None:
+        self._participants += 1
+
+    def remove_participant(self) -> None:
+        if self._participants <= 0:
+            raise RuntimeError("remove_participant without add_participant")
+        self._participants -= 1
+        self._maybe_advance()
+
+    async def sleep(self, seconds: float) -> None:
+        future = asyncio.get_running_loop().create_future()
+        wake = self._now + max(0.0, float(seconds))
+        heapq.heappush(self._heap, (wake, next(self._seq), future))
+        self._sleeping += 1
+        self._maybe_advance()
+        await future
+
+    def _maybe_advance(self) -> None:
+        """Wake the earliest sleeper iff every participant is parked.
+
+        Exactly one sleeper wakes per advance: its future resolves, the
+        event loop runs it until its next await, and only then (when all
+        participants are parked again) does time move on.
+        """
+        if not self._heap:
+            return
+        if self._participants == 0 or self._sleeping < self._participants:
+            return
+        wake, _, future = heapq.heappop(self._heap)
+        self._now = max(self._now, wake)
+        self._sleeping -= 1
+        if not future.cancelled():
+            future.set_result(None)

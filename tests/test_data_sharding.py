@@ -1,0 +1,199 @@
+"""`ShardedLatencyDataset`: atomic appends, digests, quarantine repair."""
+
+import json
+
+import pytest
+
+from repro import (
+    DatasetError,
+    LatencyDataset,
+    LatencySample,
+    RandomSampler,
+    ShardedLatencyDataset,
+    ShardInfo,
+    resnet_space,
+)
+from repro.data.sharding import SHARD_MANIFEST_VERSION, _sha256
+
+
+@pytest.fixture(scope="module")
+def samples():
+    spec = resnet_space()
+    configs = RandomSampler(spec, rng=11).sample_batch(25)
+    return [
+        LatencySample(config=c, latency_s=0.001 * (i + 1), device="quietsim")
+        for i, c in enumerate(configs)
+    ]
+
+
+@pytest.fixture
+def store(tmp_path, samples):
+    return ShardedLatencyDataset.from_dataset(
+        LatencyDataset(samples), tmp_path / "ds", shard_size=10
+    )
+
+
+class TestLayout:
+    def test_create_is_idempotent(self, tmp_path):
+        a = ShardedLatencyDataset.create(tmp_path / "ds")
+        b = ShardedLatencyDataset.create(tmp_path / "ds")
+        assert a.manifest_path == b.manifest_path
+        assert len(a) == len(b) == 0
+        assert a.shards == []
+
+    def test_from_dataset_shards_by_size(self, store, samples):
+        infos = store.shards
+        assert [s.name for s in infos] == [
+            "shard-00000.json", "shard-00001.json", "shard-00002.json",
+        ]
+        assert [s.n_samples for s in infos] == [10, 10, 5]
+        assert len(store) == 25
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["manifest_version"] == SHARD_MANIFEST_VERSION
+        assert manifest["n_samples"] == 25 and manifest["n_shards"] == 3
+
+    def test_round_trip_preserves_order_and_content(self, store, samples):
+        assert store.to_dataset() == LatencyDataset(samples)
+
+    def test_streaming_iteration_matches(self, store, samples):
+        assert list(store) == samples
+        shard_lens = [len(s) for s in store.iter_shards()]
+        assert shard_lens == [10, 10, 5]
+
+    def test_append_validation(self, tmp_path, samples):
+        store = ShardedLatencyDataset.create(tmp_path / "ds")
+        with pytest.raises(ValueError):
+            store.append_shard([])
+        with pytest.raises(ValueError):
+            store.extend(samples, shard_size=0)
+        with pytest.raises(ValueError):
+            ShardedLatencyDataset.from_dataset(
+                LatencyDataset(samples), tmp_path / "ds2", shard_size=0
+            )
+
+    def test_extend_appends_consecutively(self, store, samples):
+        store.extend(samples[:12], shard_size=10)
+        assert [s.n_samples for s in store.shards] == [10, 10, 5, 10, 2]
+        assert len(store) == 37
+
+    def test_orphan_shard_from_a_torn_write_is_overwritten(
+        self, store, samples
+    ):
+        """Crash between shard write and manifest commit: the orphan file
+        must not confuse the next append — the manifest is the only truth."""
+        orphan = store.shard_path("shard-00003.json")
+        orphan.write_text("{torn garbage")
+        assert len(store) == 25  # invisible to reads
+        assert store.verify() == []
+        info = store.append_shard(samples[:3])
+        assert info.name == "shard-00003.json"
+        assert store.read_shard(info).samples == samples[:3]
+
+
+class TestIntegrity:
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            ShardedLatencyDataset(tmp_path / "nope").shards
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = ShardedLatencyDataset.create(tmp_path / "ds")
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(DatasetError, match="not valid JSON"):
+            store.shards
+        store.manifest_path.write_text('{"manifest_version": 99}')
+        with pytest.raises(DatasetError, match="manifest_version 99"):
+            store.shards
+
+    def test_bit_flip_is_detected_and_named(self, store):
+        info = store.shards[1]
+        path = store.shard_path(info.name)
+        path.write_text(path.read_text().replace("0.011", "0.099", 1))
+        with pytest.raises(DatasetError) as excinfo:
+            list(store)
+        message = str(excinfo.value)
+        # The error names the bad shard and both digests.
+        assert info.name in message
+        assert info.sha256 in message
+        assert _sha256(path.read_text()) in message
+        # The healthy shards before it streamed fine.
+        assert len(store.read_shard(store.shards[0])) == 10
+
+    def test_missing_shard_is_detected(self, store):
+        store.shard_path("shard-00002.json").unlink()
+        problems = store.verify()
+        assert problems == ["shard shard-00002.json: missing from disk"]
+        with pytest.raises(DatasetError, match="missing on disk"):
+            store.to_dataset()
+
+    def test_verify_reports_every_problem(self, store):
+        store.shard_path("shard-00000.json").write_text("{bad")
+        store.shard_path("shard-00002.json").unlink()
+        problems = store.verify()
+        assert len(problems) == 2
+        assert any("sha256 mismatch" in p for p in problems)
+        assert any("missing from disk" in p for p in problems)
+
+    def test_schema_violation_names_the_sample_index(self, store, samples):
+        """A shard that hashes clean but violates the schema points at the
+        exact failing sample, not just the file."""
+        info = store.shards[0]
+        path = store.shard_path(info.name)
+        payload = json.loads(path.read_text())
+        payload["samples"][7]["latency_s"] = -1.0
+        text = json.dumps(payload)
+        path.write_text(text)
+        # Keep the digest honest so the parse (not the hash) is what fails.
+        doctored = [
+            ShardInfo(info.name, info.n_samples, _sha256(text))
+            if s.name == info.name else s
+            for s in store.shards
+        ]
+        store._save_manifest(doctored)
+        with pytest.raises(DatasetError) as excinfo:
+            store.read_shard(doctored[0])
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "sample 7" in message
+        assert "-1.0" in message
+
+
+class TestRepair:
+    def corrupt(self, store):
+        path = store.shard_path("shard-00001.json")
+        path.write_text(path.read_text()[:-20])
+        return path
+
+    def test_strict_repair_refuses_and_lists(self, store):
+        self.corrupt(store)
+        with pytest.raises(DatasetError, match="strict=False"):
+            store.repair()
+        # Nothing was touched.
+        assert len(store.shards) == 3
+        assert store.shard_path("shard-00001.json").exists()
+
+    def test_quarantine_repair_keeps_the_healthy_remainder(self, store, samples):
+        path = self.corrupt(store)
+        report = store.repair(strict=False)
+        assert not report.healthy
+        assert report.checked == 3
+        assert report.dropped == ["shard-00001.json"]
+        assert report.kept_samples == 15
+        # The corrupt bytes are preserved for the post-mortem...
+        assert not path.exists()
+        assert path.with_suffix(".json.corrupt").exists()
+        # ...and the dataset serves what survived, digest-checked.
+        assert store.verify() == []
+        assert list(store) == samples[:10] + samples[20:]
+
+    def test_repair_of_a_missing_shard(self, store):
+        store.shard_path("shard-00000.json").unlink()
+        report = store.repair(strict=False)
+        assert report.dropped == ["shard-00000.json"]
+        assert len(store) == 15
+
+    def test_repair_on_a_healthy_store_is_a_no_op(self, store, samples):
+        before = store.manifest_path.read_bytes()
+        report = store.repair()
+        assert report.healthy and report.checked == 3
+        assert report.kept_samples == 25
+        assert store.manifest_path.read_bytes() == before

@@ -1,0 +1,145 @@
+"""Nightly fault matrix: fleet == serial bytes across a grid of faults.
+
+Tier-1 asserts byte-identity for a handful of curated scenarios; this
+sweep crosses fault plans with fleet shapes and asserts the invariant for
+every cell.  It is deselected by default (`-m "not fault_matrix"` rides in
+addopts) and run by the nightly CI job with `-m fault_matrix`.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CampaignError,
+    CampaignRunner,
+    DeviceProfile,
+    FaultPlan,
+    FaultyDevice,
+    FleetRunner,
+    MeasurementProtocol,
+    RandomSampler,
+    ReferenceSet,
+    SimulatedDevice,
+    resnet_space,
+)
+
+pytestmark = pytest.mark.fault_matrix
+
+QUIET = DeviceProfile(
+    name="quietsim",
+    peak_flops=19.0e12,
+    mem_bandwidth=384e9,
+    cache_bytes=6e6,
+    num_compute_units=48,
+    wave_quantum=2_000_000,
+    launch_overhead_s=3.5e-6,
+    launch_exponent=0.74,
+    cache_penalty=1.2,
+    jitter_cv=0.004,
+    outlier_prob=0.0,
+    outlier_scale=0.1,
+    warmup_factor=1.5,
+    warmup_iters=3,
+    session_sigma=0.002,
+    throttle_prob=0.0,
+    throttle_factor=1.0,
+)
+
+PLANS = {
+    "clean": FaultPlan(),
+    "throttle": FaultPlan(throttle_prob=0.5, throttle_factor=1.25),
+    "transient": FaultPlan(error_prob=0.08, timeout_prob=0.05),
+    "corrupt": FaultPlan(corrupt_prob=0.08),
+    "stragglers": FaultPlan(straggler_prob=0.5, straggler_factor=10.0),
+    "everything": FaultPlan(
+        throttle_prob=0.35,
+        throttle_factor=1.25,
+        error_prob=0.03,
+        timeout_prob=0.02,
+        corrupt_prob=0.04,
+        straggler_prob=0.5,
+        straggler_factor=10.0,
+    ),
+}
+
+FLEETS = {
+    "small": dict(sessions=2, deadline_s=2.0, breaker_cooldown_s=2.0),
+    "standard": dict(sessions=4, deadline_s=2.0, breaker_cooldown_s=2.0),
+    "contended": dict(
+        sessions=6, deadline_s=3.0, breaker_cooldown_s=1.0, contention=0.3
+    ),
+}
+
+SEEDS = (42, 7)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return resnet_space()
+
+
+@pytest.fixture(scope="module")
+def sweep_configs(spec):
+    return RandomSampler(spec, rng=1).sample_batch(40)
+
+
+def run_one(cls, directory, configs, spec, plan, seed, **kwargs):
+    device = FaultyDevice(SimulatedDevice(QUIET, seed=0), plan, seed=0)
+    runner = cls(
+        device,
+        configs,
+        directory,
+        ReferenceSet.from_space(spec, k=2, rng=7),
+        protocol=MeasurementProtocol(runs=25),
+        batch_size=5,
+        seed=seed,
+        sleep=lambda s: None,
+        **kwargs,
+    )
+    runner.run()
+    return runner
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("fleet_name", sorted(FLEETS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fleet_bytes_match_serial(
+    sweep_configs, spec, tmp_path, plan_name, fleet_name, seed
+):
+    plan = PLANS[plan_name]
+    serial = run_one(
+        CampaignRunner, tmp_path / "serial", sweep_configs, spec, plan, seed
+    )
+    try:
+        fleet = run_one(
+            FleetRunner,
+            tmp_path / "fleet",
+            sweep_configs,
+            spec,
+            plan,
+            seed,
+            **FLEETS[fleet_name],
+        )
+    except CampaignError as error:
+        # A cell where every session straggled to retirement is a valid
+        # outcome — but only when the plan can actually produce it, and
+        # whatever was committed first must still match the serial bytes.
+        assert plan.straggler_prob > 0
+        assert error.health.surviving == 0
+        for index in range(serial.n_batches):
+            shard = Path(tmp_path / "fleet" / "shards" / f"batch-{index:04d}.json")
+            if shard.exists():
+                ref = tmp_path / "serial" / "shards" / f"batch-{index:04d}.json"
+                assert shard.read_bytes() == ref.read_bytes()
+        return
+    assert fleet.complete
+    for index in range(serial.n_batches):
+        a = (tmp_path / "serial" / "shards" / f"batch-{index:04d}.json").read_bytes()
+        b = (tmp_path / "fleet" / "shards" / f"batch-{index:04d}.json").read_bytes()
+        assert a == b, (
+            f"shard {index} differs (plan={plan_name}, fleet={fleet_name}, "
+            f"seed={seed})"
+        )
+    # The ledger must balance: every batch was completed by some session.
+    assert sum(s.completions for s in fleet.health.sessions) == fleet.n_batches

@@ -5,6 +5,7 @@ tiny session noise) so that every QC verdict is attributable to the
 injected faults, not the simulator's own background noise model.
 """
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -16,6 +17,7 @@ from repro import (
     CampaignRunner,
     DatasetError,
     DeviceProfile,
+    FakeClock,
     FaultPlan,
     FaultyDevice,
     LatencyDataset,
@@ -196,6 +198,7 @@ class TestFaultyCampaign:
             sleep=sleeps.append,
             backoff_s=0.1,
             backoff_factor=2.0,
+            backoff_jitter=0.0,
         )
         report = runner.run().report
         # One exponential backoff per failed attempt that had retries left.
@@ -205,6 +208,71 @@ class TestFaultyCampaign:
                 expected.append(0.1 * 2.0**attempt.attempt)
         assert sleeps == expected
         assert len(sleeps) == report.total_qc_retries >= 1
+
+    def test_backoff_jitter_is_seeded(self, sweep_configs, spec, tmp_path):
+        """The default jitter desynchronises retries but replays exactly:
+        every sleep matches the per-(batch, attempt) jitter stream."""
+        from repro.profiling.campaign import _JITTER_SLOT
+
+        def jittered_run(directory):
+            sleeps = []
+            report = self.run_faulty(
+                tmp_path / directory,
+                sweep_configs,
+                spec,
+                sleep=sleeps.append,
+                backoff_s=0.1,
+                backoff_factor=2.0,
+                backoff_jitter=0.25,
+            ).run().report
+            return sleeps, report
+
+        sleeps, report = jittered_run("a")
+        expected = []
+        for batch in report.batches:
+            for attempt in batch.attempts[:-1]:
+                base = 0.1 * 2.0**attempt.attempt
+                u = np.random.default_rng(
+                    [42, _JITTER_SLOT, batch.index + 1, attempt.attempt]
+                ).random()
+                expected.append(base * (1.0 + 0.25 * (2.0 * u - 1.0)))
+        assert sleeps == expected
+        assert any(s != 0.1 * 2.0**i for i, s in enumerate(sleeps))
+        # The attempt record carries the jittered value it actually slept.
+        recorded = [
+            a.backoff_s
+            for b in report.batches
+            for a in b.attempts
+            if a.backoff_s > 0
+        ]
+        assert recorded == sleeps
+        # ...and an identical campaign replays the identical schedule.
+        assert jittered_run("b")[0] == sleeps
+
+    def test_jitter_does_not_change_shard_bytes(self, sweep_configs, spec, tmp_path):
+        self.run_faulty(tmp_path / "jit", sweep_configs, spec,
+                        backoff_jitter=0.9).run()
+        self.run_faulty(tmp_path / "nojit", sweep_configs, spec,
+                        backoff_jitter=0.0).run()
+        assert shard_bytes(tmp_path / "jit", 4) == shard_bytes(tmp_path / "nojit", 4)
+
+    def test_backoff_jitter_validation(self, sweep_configs, spec, tmp_path):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                self.run_faulty(tmp_path, sweep_configs, spec, backoff_jitter=bad)
+
+    def test_fake_clock_absorbs_backoff_sleeps(self, sweep_configs, spec, tmp_path):
+        """With an injected `FakeClock` the campaign never really sleeps —
+        the clock just records the schedule and advances virtual time."""
+        clock = FakeClock()
+        report = self.run_faulty(
+            tmp_path, sweep_configs, spec,
+            sleep=None, clock=clock, backoff_s=30.0,
+        ).run().report
+        assert report.total_qc_retries >= 1
+        assert len(clock.sleeps) == report.total_qc_retries
+        assert clock.monotonic() == pytest.approx(sum(clock.sleeps))
+        assert all(s >= 30.0 * (1 - 0.1) for s in clock.sleeps)
 
     def test_exhausted_retries_flag_but_keep_the_batch(
         self, sweep_configs, spec, tmp_path
@@ -446,6 +514,10 @@ class TestParallelCampaign:
                 fb.store.shard_path(index).read_bytes()
                 == seq.store.shard_path(index).read_bytes()
             )
+        # The fallback is provenance, not a silent apology.
+        kinds = [d["kind"] for d in fb_result.report.degradations]
+        assert kinds == ["pool_unavailable"]
+        assert not seq_result.report.degradations
 
     def test_workers_do_not_enter_the_fingerprint(
         self, sweep_configs, spec, tmp_path
@@ -462,3 +534,67 @@ class TestParallelCampaign:
         device = SimulatedDevice(QUIET, seed=0)
         with pytest.raises(ValueError):
             make_runner(device, tmp_path, sweep_configs, spec, workers=0)
+
+
+_PARENT_PID = os.getpid()
+
+
+class WorkerKillingDevice:
+    """Hard-kills any process-pool worker that tries to measure with it.
+
+    In the parent process it delegates to a clean `SimulatedDevice`; in a
+    pool worker (any other pid) the first measurement calls ``os._exit``,
+    which the executor surfaces as `BrokenProcessPool` — the closest a test
+    can get to a segfaulting or OOM-killed measurement worker.
+    """
+
+    def __init__(self, profile, seed=0):
+        self.inner = SimulatedDevice(profile, seed=seed)
+        self.profile = self.inner.profile
+
+    def measure(self, target, runs, rng=None):
+        if os.getpid() != _PARENT_PID:
+            os._exit(1)
+        return self.inner.measure(target, runs=runs, rng=rng)
+
+    def true_latency(self, config):
+        return self.inner.true_latency(config)
+
+
+class TestBrokenPoolRecovery:
+    """A pool whose workers die mid-campaign must degrade, not abort."""
+
+    def test_dead_workers_fall_back_to_serial(self, sweep_configs, spec, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable on this platform")
+        reference = make_runner(
+            SimulatedDevice(QUIET, seed=0), tmp_path / "ref", sweep_configs, spec
+        )
+        reference.run()
+        runner = make_runner(
+            WorkerKillingDevice(QUIET, seed=0),
+            tmp_path / "pool",
+            sweep_configs,
+            spec,
+            workers=2,
+            mp_context="fork",
+        )
+        result = runner.run()
+        # The campaign completed anyway, serially, in the parent.
+        assert runner.complete
+        assert len(result.dataset) == 28
+        # ...byte-identical to a never-pooled run on the same device.
+        assert shard_bytes(tmp_path / "pool", 4) == shard_bytes(tmp_path / "ref", 4)
+        # The report (and the manifest under it) remember what happened.
+        degraded = [
+            d for d in result.report.degradations
+            if d["kind"] == "broken_process_pool"
+        ]
+        assert len(degraded) == 1
+        assert degraded[0]["pending"]  # the batches that fell back
+        assert "BrokenProcessPool" in degraded[0]["error"]
+        # Degradations survive the JSON round trip and a later resume.
+        reloaded = CampaignReport.load(runner.store.report_path)
+        assert reloaded.degradations == result.report.degradations

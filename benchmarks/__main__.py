@@ -19,6 +19,7 @@ from . import (
     bench_measure,
     bench_nas,
     bench_predictors,
+    bench_serve,
 )
 from .common import RESULTS_DIR, summarize
 
@@ -30,6 +31,7 @@ BENCHES = {
     "esm_loop": bench_esm_loop.run,
     "nas": bench_nas.run,
     "predictors": bench_predictors.run,
+    "serve": bench_serve.run,
 }
 
 

@@ -1,0 +1,278 @@
+"""Prediction-server throughput: micro-batching vs one-request-one-predict.
+
+Drives the `repro.serve` request path end to end — asyncio futures,
+micro-batcher, encoder cache, vectorized predict — under a tight-loop
+offered load of distinct configs, against the same server configured as
+the naive baseline (``max_batch=1``: every request is its own
+encode+predict, exactly what a service without batching would do).  Both
+runs disable the prediction LRU so the numbers measure the batching win,
+not cache hits; a third pass re-submits the workload with the cache on
+to record the hit-rate path.
+
+Recorded: sustained throughput (predictions/s), per-request p50/p99
+latency under load, the speedup over the naive baseline, and the
+`AdaptiveSwitchingPredictor.predict_one` fast path priced against its
+winner's own 1-row batched predict.  Full mode asserts the acceptance
+targets: >= 10k predictions/s single-core, micro-batched >= 5x naive,
+predict_one within 2x of the winner's batch path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from .common import best_of, sample_configs, write_result
+
+FAMILY = "resnet"
+DEVICE = "raspberrypi4"
+ENCODING = "fcc"
+SEED = 7
+
+THROUGHPUT_TARGET = 10_000  # predictions/s, single core, full mode
+SPEEDUP_TARGET = 5.0  # micro-batched vs max_batch=1, full mode
+PREDICT_ONE_TARGET = 2.0  # predict_one vs winner's own 1-row batch
+
+
+def _make_server(model, *, max_batch, max_wait_s, cache_size):
+    from repro import ModelRegistry, PredictionServer, ServeKey
+
+    registry = ModelRegistry()
+    registry.register(ServeKey(FAMILY, DEVICE, ENCODING), model)
+    return PredictionServer(
+        registry,
+        max_batch=max_batch,
+        max_wait_s=max_wait_s,
+        cache_size=cache_size,
+    )
+
+
+def _serve_run(model, configs, *, max_batch, max_wait_s, repeats=1):
+    """Push ``configs`` through a fresh server (LRU off) ``repeats`` times.
+
+    Returns ``(wall_s, values, stats)``: wall is the best of the repeats
+    (steady-state throughput, scheduler noise discarded), values/stats
+    come from the last one.  No per-request instrumentation here — this
+    is the clean number.
+    """
+
+    async def scenario(server):
+        t_start = time.perf_counter()
+        results = await server.predict_many(FAMILY, DEVICE, ENCODING, configs)
+        return time.perf_counter() - t_start, results
+
+    best_wall = float("inf")
+    values = stats = None
+    for _ in range(max(1, repeats)):
+        server = _make_server(
+            model, max_batch=max_batch, max_wait_s=max_wait_s, cache_size=0
+        )
+        wall, results = asyncio.run(scenario(server))
+        if wall < best_wall:
+            best_wall = wall
+        values = np.array([r.latency_s for r in results])
+        stats = server.stats()
+    return best_wall, values, stats
+
+
+def _latency_run(model, configs, *, max_batch, max_wait_s):
+    """Per-request latency under sustained load (p50/p99).
+
+    A separate pass from the throughput run (the ``perf_counter`` calls
+    and done callbacks per request would tax the clean number), and
+    paced: the submitter yields to the event loop after every
+    ``max_batch`` submissions, like a front end interleaving reads and
+    replies, so completion callbacks fire as each batch flushes.  A
+    single tight loop would submit the whole workload before the loop
+    runs once, timing the submitter instead of the service.
+    """
+    server = _make_server(
+        model, max_batch=max_batch, max_wait_s=max_wait_s, cache_size=0
+    )
+
+    async def scenario():
+        clock = time.perf_counter
+        latencies = []
+        futures = []
+        for i, config in enumerate(configs):
+            t0 = clock()
+            future = server.submit(FAMILY, DEVICE, ENCODING, config)
+            future.add_done_callback(
+                lambda _f, t0=t0: latencies.append(clock() - t0)
+            )
+            futures.append(future)
+            if (i + 1) % max_batch == 0:
+                await asyncio.sleep(0)
+        await asyncio.gather(*futures)
+        return latencies
+
+    return np.array(asyncio.run(scenario()))
+
+
+def _cached_pass(model, configs):
+    """Same workload twice through one server with the LRU on."""
+    from repro import ModelRegistry, PredictionServer, ServeKey
+
+    registry = ModelRegistry()
+    registry.register(ServeKey(FAMILY, DEVICE, ENCODING), model)
+    server = PredictionServer(registry, max_batch=256, max_wait_s=0.002)
+
+    async def scenario():
+        await server.predict_many(FAMILY, DEVICE, ENCODING, configs)
+        t0 = time.perf_counter()
+        await server.predict_many(FAMILY, DEVICE, ENCODING, configs)
+        return time.perf_counter() - t0
+
+    wall = asyncio.run(scenario())
+    return wall, server.stats()
+
+
+def _predict_one_ratio(X_train, y_train, X_probe, smoke):
+    """Price `AdaptiveSwitchingPredictor.predict_one` against the winner."""
+    from repro import AdaptiveSwitchingPredictor
+
+    kwargs = (
+        {"zoo": ["ridge", "cart", "rf"], "zoo_params": {"rf": {"n_estimators": 5}},
+         "cv_folds": 2}
+        if smoke
+        else {"cv_folds": 3}
+    )
+    switcher = AdaptiveSwitchingPredictor(**kwargs).fit(X_train, y_train)
+    winner = switcher.model  # the fitted winner itself
+
+    rows = [np.ascontiguousarray(row) for row in X_probe]
+
+    def via_predict_one():
+        return [switcher.predict_one(row) for row in rows]
+
+    def via_winner_batch1():
+        return [float(winner.predict(row[None, :])[0]) for row in rows]
+
+    one_s, one_vals = best_of(via_predict_one, repeat=3)
+    batch1_s, batch1_vals = best_of(via_winner_batch1, repeat=3)
+    assert one_vals == batch1_vals, "predict_one diverged from the winner"
+    ratio = one_s / batch1_s if batch1_s > 0 else float("inf")
+    return switcher.winner_, one_s, batch1_s, ratio
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import MLPPredictor, SimulatedDevice, encoder_for
+
+    n, n_base, n_train, n_probe = (
+        (600, 150, 60, 100) if smoke else (20_000, 2_000, 400, 1_000)
+    )
+    max_batch, max_wait_s = 256, 0.002
+
+    configs, spec = sample_configs(FAMILY, n, seed=SEED)
+    train_configs, _ = sample_configs(FAMILY, n_train, seed=11)
+    device = SimulatedDevice(DEVICE, seed=0)
+    encoder = encoder_for(ENCODING, spec)
+    X_train = encoder.encode_batch(train_configs, spec)
+    y_train = np.array([device.true_latency(c) for c in train_configs])
+    model = MLPPredictor(epochs=30 if smoke else 300).fit(X_train, y_train)
+
+    # Naive baseline (the same server, one request = one encode+predict)
+    # and the micro-batched path, LRU off in both.  The repeats are
+    # interleaved so CPU-frequency / scheduler drift on a shared box
+    # hits both paths alike instead of biasing whichever ran last; the
+    # speedup is min-over-min, the same best-of discipline as `best_of`.
+    base_wall = wall = float("inf")
+    base_values = values = stats = None
+    for _ in range(5):
+        b, base_values, _ = _serve_run(
+            model, configs[:n_base],
+            max_batch=1, max_wait_s=max_wait_s,
+        )
+        w, values, stats = _serve_run(
+            model, configs,
+            max_batch=max_batch, max_wait_s=max_wait_s,
+        )
+        base_wall = min(base_wall, b)
+        wall = min(wall, w)
+    base_per_item = base_wall / n_base
+    throughput = n / wall
+    speedup = base_per_item / (wall / n)
+
+    # Best-of-2 on the tail too: a single scheduler/GC stall on a shared
+    # one-core box smears ~100ms over a whole batch of requests, which
+    # says nothing about the server.  Same discipline as `best_of`.
+    latencies = min(
+        (
+            _latency_run(
+                model, configs, max_batch=max_batch, max_wait_s=max_wait_s
+            )
+            for _ in range(2)
+        ),
+        key=lambda lat: np.percentile(lat, 99),
+    )
+    p50_ms = float(np.percentile(latencies, 50) * 1e3)
+    p99_ms = float(np.percentile(latencies, 99) * 1e3)
+
+    # Same model, same configs: batched answers must match the naive ones
+    # (allclose, not bytes — BLAS may group 1-row and n-row matmuls
+    # differently).
+    equivalent = bool(np.allclose(values[:n_base], base_values))
+
+    cached_wall, cached_stats = _cached_pass(model, configs[:n_base])
+
+    winner, one_s, batch1_s, ratio = _predict_one_ratio(
+        X_train, y_train,
+        encoder.encode_batch(configs[:n_probe], spec), smoke,
+    )
+
+    if not smoke:
+        assert throughput >= THROUGHPUT_TARGET, (
+            f"throughput {throughput:.0f}/s below the "
+            f"{THROUGHPUT_TARGET}/s acceptance target"
+        )
+        assert speedup >= SPEEDUP_TARGET, (
+            f"micro-batching speedup {speedup:.2f}x below "
+            f"{SPEEDUP_TARGET}x vs one-request-one-predict"
+        )
+        assert ratio <= PREDICT_ONE_TARGET, (
+            f"predict_one is {ratio:.2f}x the winner's 1-row batch path "
+            f"(target <= {PREDICT_ONE_TARGET}x)"
+        )
+
+    return write_result(
+        "serve",
+        params={
+            "family": FAMILY,
+            "device": DEVICE,
+            "encoding": ENCODING,
+            "n_requests": n,
+            "n_baseline": n_base,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_s * 1e3,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        wall_s=wall,
+        per_item_us=wall / n * 1e6,
+        cache_hit_rate=cached_stats["cache_hit_rate"],
+        out_dir=out_dir,
+        baseline_wall_s=round(base_wall, 6),
+        baseline_per_item_us=round(base_per_item * 1e6, 3),
+        speedup=round(speedup, 2),
+        throughput_per_s=round(throughput, 1),
+        p50_ms=round(p50_ms, 4),
+        p99_ms=round(p99_ms, 4),
+        batches=stats["batches"],
+        mean_batch=round(stats["mean_batch"], 1),
+        largest_batch=stats["largest_batch"],
+        cached_rerun_wall_s=round(cached_wall, 6),
+        predict_one={
+            "winner": winner,
+            "us_per_row": round(one_s / n_probe * 1e6, 3),
+            "winner_batch1_us_per_row": round(batch1_s / n_probe * 1e6, 3),
+            "ratio_vs_winner": round(ratio, 3),
+        },
+        equivalent=equivalent,
+    )
+
+
+if __name__ == "__main__":
+    path, payload = run()
+    print(path)

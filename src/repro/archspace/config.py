@@ -81,14 +81,23 @@ class ArchConfig:
         nested dataclass itself — used to key per-config memoization (the
         simulator's analytical-latency cache).  Two configs have equal
         cache keys iff they lower to the same network.
+
+        Memoized per instance (configs are immutable): callers on hot
+        paths — the analytical cache, the serving LRU and micro-batch
+        dedupe — may call this once per request without rebuilding the
+        nested tuples each time.
         """
-        return (
-            self.family,
-            tuple(
-                tuple((b.kernel_size, b.expand_ratio) for b in blocks)
-                for blocks in self.units
-            ),
-        )
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = (
+                self.family,
+                tuple(
+                    tuple((b.kernel_size, b.expand_ratio) for b in blocks)
+                    for blocks in self.units
+                ),
+            )
+            object.__setattr__(self, "_cache_key", key)
+        return key
 
     def to_dict(self) -> dict:
         return {

@@ -18,6 +18,7 @@ Exact cardinalities (verified by tests against Table I):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 from .config import ArchConfig, BlockConfig
@@ -141,6 +142,11 @@ class SpaceSpec:
         return config
 
 
+# The space factories are memoized: `SpaceSpec` is frozen, so one shared
+# instance per family is safe, and the identity-keyed caches downstream
+# (`encoder_for`, the per-config block-row memo in `repro.encodings`) hit
+# across every caller instead of once per freshly built spec.
+@lru_cache(maxsize=None)
 def resnet_space() -> SpaceSpec:
     """Table I ResNet space: 8.3830e26 architectures."""
     return SpaceSpec(
@@ -152,6 +158,7 @@ def resnet_space() -> SpaceSpec:
     )
 
 
+@lru_cache(maxsize=None)
 def mobilenetv3_space() -> SpaceSpec:
     """Table I MobileNetV3 space: 8.3830e26 architectures."""
     return SpaceSpec(
@@ -163,6 +170,7 @@ def mobilenetv3_space() -> SpaceSpec:
     )
 
 
+@lru_cache(maxsize=None)
 def densenet_space() -> SpaceSpec:
     """Table I DenseNet space: 1.0000e10 architectures."""
     return SpaceSpec(

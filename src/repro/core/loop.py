@@ -40,7 +40,7 @@ from ..archspace.sampling import (
 )
 from ..archspace.spaces import SpaceSpec, space_by_name
 from ..data.dataset import LatencyDataset
-from ..encodings import get_encoding
+from ..encodings import encoder_for
 from ..hardware.simulator import SimulatedDevice
 from ..metrics import binwise_accuracy, failing_bins
 from ..predictors import get_predictor
@@ -222,7 +222,7 @@ class ESMLoop:
         """Run (or resume) Algorithm 1 to convergence or budget."""
         started = time.monotonic()
         cfg = self.config
-        encoding = get_encoding(cfg.encoding)
+        encoding = encoder_for(cfg.encoding, self.spec)
         self.run_dir.mkdir(parents=True, exist_ok=True)
 
         initial = self._sampler(0, cfg.initial_sampler).sample_batch(

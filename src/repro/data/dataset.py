@@ -32,7 +32,7 @@ import numpy as np
 
 from ..archspace.config import ArchConfig
 from ..archspace.spaces import SpaceSpec
-from ..encodings import Encoding, get_encoding
+from ..encodings import Encoding, encoder_for
 from ..utils import atomic_write_text, ensure_rng
 
 __all__ = ["LatencySample", "LatencyDataset", "DatasetError", "FORMAT_VERSION"]
@@ -141,9 +141,7 @@ class LatencyDataset:
 
     def encode(self, encoding: Union[str, Encoding], spec: SpaceSpec) -> np.ndarray:
         """Feature matrix of all configs under the given encoding."""
-        if isinstance(encoding, str):
-            encoding = get_encoding(encoding)
-        return encoding.encode_batch(self.configs, spec)
+        return encoder_for(encoding, spec).encode_batch(self.configs, spec)
 
     def split(
         self,

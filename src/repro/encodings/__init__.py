@@ -1,6 +1,6 @@
 """Encoding registry: look up encodings by name, HAT/OFA-style."""
 
-from typing import Dict, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Tuple, Type, Union
 
 from .encoders import (
     Encoding,
@@ -10,6 +10,9 @@ from .encoders import (
     OneHotEncoding,
     StatisticalEncoding,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..archspace.spaces import SpaceSpec
 
 __all__ = [
     "Encoding",
@@ -21,6 +24,8 @@ __all__ = [
     "ENCODINGS",
     "get_encoding",
     "list_encodings",
+    "encoder_for",
+    "clear_encoder_cache",
 ]
 
 ENCODINGS: Dict[str, Type[Encoding]] = {
@@ -48,3 +53,34 @@ def get_encoding(name: str) -> Encoding:
 def list_encodings() -> Tuple[str, ...]:
     """Names of all registered encodings."""
     return tuple(ENCODINGS)
+
+
+# (encoding name, spec) -> shared encoder instance.  Encoders are
+# stateless, so one instance per pair can serve every caller; what the
+# cache actually buys is that per-spec derived state (the `_BlockTable`
+# lookup tables) stays warm instead of being rebuilt per call.
+_ENCODER_CACHE: Dict[Tuple[str, "SpaceSpec"], Encoding] = {}
+
+
+def encoder_for(encoding: Union[str, Encoding], spec: "SpaceSpec") -> Encoding:
+    """Get-or-create the shared encoder for ``(encoding, spec)``.
+
+    Accepts a registry name (cached per ``(name, spec)``) or an existing
+    `Encoding` instance (returned as-is, so callers holding a custom
+    encoder keep it).  The serve path and the experiment CLIs funnel
+    through here so repeated encode calls against the same space reuse
+    one encoder instead of constructing one per request.
+    """
+    if isinstance(encoding, Encoding):
+        return encoding
+    key = (encoding, spec)
+    try:
+        return _ENCODER_CACHE[key]
+    except KeyError:
+        _ENCODER_CACHE[key] = get_encoding(encoding)
+        return _ENCODER_CACHE[key]
+
+
+def clear_encoder_cache() -> None:
+    """Drop every cached encoder instance (mainly for tests)."""
+    _ENCODER_CACHE.clear()

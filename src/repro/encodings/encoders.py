@@ -33,6 +33,7 @@ equivalence tests compare against.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import repeat
 from typing import List, Optional, Sequence, Tuple
 
@@ -55,11 +56,80 @@ def _expand_choices(spec: SpaceSpec) -> Tuple[Optional[float], ...]:
     return spec.expand_choices if spec.expand_choices is not None else (None,)
 
 
+@lru_cache(maxsize=64)
+def _spec_tables(spec: SpaceSpec):
+    """Per-spec lookup state shared by every `_BlockTable` built against it.
+
+    `SpaceSpec` is a frozen dataclass, so the joint (kernel, expand) lookup
+    table and the depth-membership set are pure functions of it.  Memoizing
+    them means a serving path flushing thousands of micro-batches per
+    second rebuilds neither dict per call.
+    """
+    n_expand = len(_expand_choices(spec))
+    joint_lut = {
+        (k, e): ki * n_expand + ei
+        for ki, k in enumerate(spec.kernel_choices)
+        for ei, e in enumerate(_expand_choices(spec))
+    }
+    return n_expand, joint_lut, frozenset(spec.depth_choices)
+
+
 def _reject(config: ArchConfig, spec: SpaceSpec) -> None:
     raise ValueError(
         f"config (family={config.family!r}) is not a member of the "
         f"{spec.family!r} space"
     )
+
+
+def _config_rows(config: ArchConfig, spec: SpaceSpec):
+    """``(depths_row, unit_idx, pos_idx, joint_idx)`` arrays for one config.
+
+    Validates space membership along the way (this is the only walk over
+    the config's blocks), and memoizes the result on the config instance
+    keyed by the *identity* of ``spec``: encoders, the serving path, and
+    the dataset pipeline all pass one long-lived `SpaceSpec` instance, so
+    the identity check is a pointer compare instead of hashing the spec's
+    nested tuples per lookup.  A different spec instance simply rebuilds
+    (and re-validates) the rows.  The index rows are small ``np.intp``
+    arrays, so a batch assembles with ``np.concatenate`` instead of
+    re-walking Python tuples per flush.
+    """
+    memo = config.__dict__.get("_block_rows")
+    if memo is not None and memo[0] is spec:
+        return memo[1]
+    n_expand, joint_lut, depth_ok = _spec_tables(spec)
+    # `cache_key()[1]` is the per-unit (kernel, expand) tuples in exactly
+    # joint_lut's key shape, memoized on the config — the loop below runs
+    # on flat primitives, never touching the nested `BlockConfig` objects.
+    units_ke = config.cache_key()[1]
+    if config.family != spec.family or len(units_ke) != spec.num_units:
+        _reject(config, spec)
+    uniform = spec.uniform_kernel
+    row: List[int] = []
+    unit: List[int] = []
+    pos: List[int] = []
+    joint: List[int] = []
+    for u, blocks_ke in enumerate(units_ke):
+        d = len(blocks_ke)
+        if d not in depth_ok:
+            _reject(config, spec)
+        if uniform and len({k for k, _ in blocks_ke}) != 1:
+            _reject(config, spec)
+        row.append(d)
+        unit.extend(repeat(u, d))
+        pos.extend(range(d))
+        try:
+            joint.extend(joint_lut[ke] for ke in blocks_ke)
+        except KeyError:
+            _reject(config, spec)
+    rows = (
+        np.asarray(row, dtype=np.intp),
+        np.asarray(unit, dtype=np.intp),
+        np.asarray(pos, dtype=np.intp),
+        np.asarray(joint, dtype=np.intp),
+    )
+    object.__setattr__(config, "_block_rows", (spec, rows))
+    return rows
 
 
 class _BlockTable:
@@ -74,50 +144,36 @@ class _BlockTable:
     """
 
     def __init__(self, configs: Sequence[ArchConfig], spec: SpaceSpec):
-        n_expand = len(_expand_choices(spec))
-        joint_lut = {
-            (k, e): ki * n_expand + ei
-            for ki, k in enumerate(spec.kernel_choices)
-            for ei, e in enumerate(_expand_choices(spec))
-        }
-        depth_ok = set(spec.depth_choices)
-        family, num_units = spec.family, spec.num_units
-        uniform = spec.uniform_kernel
-        cfg: List[int] = []
-        unit: List[int] = []
-        pos: List[int] = []
-        joint: List[int] = []
-        depths: List[List[int]] = []
+        num_units = spec.num_units
+        n = len(configs)
+        depth_rows = []
+        unit_rows = []
+        pos_rows = []
+        joint_rows = []
+        counts = np.empty(n, dtype=np.intp)
         for i, config in enumerate(configs):
-            units = config.units
-            if config.family != family or len(units) != num_units:
-                _reject(config, spec)
-            row: List[int] = []
-            for u, blocks in enumerate(units):
-                d = len(blocks)
-                if d not in depth_ok:
-                    _reject(config, spec)
-                if uniform and len({b.kernel_size for b in blocks}) != 1:
-                    _reject(config, spec)
-                row.append(d)
-                cfg.extend(repeat(i, d))
-                unit.extend(repeat(u, d))
-                pos.extend(range(d))
-                try:
-                    for block in blocks:
-                        joint.append(joint_lut[block.kernel_size, block.expand_ratio])
-                except KeyError:
-                    _reject(config, spec)
-            depths.append(row)
-        self.n_expand = n_expand
-        self.cfg = np.asarray(cfg, dtype=np.intp)
-        self.unit = np.asarray(unit, dtype=np.intp)
-        self.pos = np.asarray(pos, dtype=np.intp)
-        self.joint = np.asarray(joint, dtype=np.intp)
+            row, unit_r, pos_r, joint_r = _config_rows(config, spec)
+            depth_rows.append(row)
+            unit_rows.append(unit_r)
+            pos_rows.append(pos_r)
+            joint_rows.append(joint_r)
+            counts[i] = len(joint_r)
+        n_expand = self.n_expand = len(_expand_choices(spec))
+        if n:
+            self.cfg = np.repeat(np.arange(n, dtype=np.intp), counts)
+            self.unit = np.concatenate(unit_rows)
+            self.pos = np.concatenate(pos_rows)
+            self.joint = np.concatenate(joint_rows)
+        else:
+            self.cfg = self.unit = self.pos = self.joint = np.empty(
+                0, dtype=np.intp
+            )
         self.kidx = self.joint // n_expand
         self.eidx = self.joint - self.kidx * n_expand
-        self.depths = np.asarray(depths, dtype=np.intp).reshape(
-            len(configs), num_units
+        self.depths = (
+            np.vstack(depth_rows)
+            if n
+            else np.empty((0, num_units), dtype=np.intp)
         )
 
     def kernel_values(self, spec: SpaceSpec) -> np.ndarray:

@@ -55,7 +55,7 @@ class GradientBoostingPredictor(PredictorBase):
         self._trees: Optional[List[_RegressionTree]] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingPredictor":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         n = X.shape[0]
         k = max(2, int(round(self.subsample * n))) if self.subsample < 1.0 else n
         k = min(k, n)
@@ -85,7 +85,7 @@ class GradientBoostingPredictor(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        X = np.asarray(X, dtype=float)
+        X = self._check_predict_input(X)
         out = np.full(X.shape[0], self._init)
         for tree in self._trees:
             out += self.learning_rate * tree.predict(X)

@@ -52,7 +52,7 @@ class RandomForestPredictor(PredictorBase):
         self._features: Optional[List[np.ndarray]] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestPredictor":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         n, d = X.shape
         m = max(1, int(round(self.max_features * d)))
         self._trees = []
@@ -74,7 +74,7 @@ class RandomForestPredictor(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        X = np.asarray(X, dtype=float)
+        X = self._check_predict_input(X)
         out = np.zeros(X.shape[0], dtype=float)
         for tree, cols in zip(self._trees, self._features):
             out += tree.predict(X[:, cols])

@@ -34,7 +34,7 @@ class RidgePredictor(PredictorBase):
         self.intercept_: float = 0.0
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgePredictor":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         self._x_mean = X.mean(axis=0)
         std = X.std(axis=0)
         self._x_std = np.where(std > 0, std, 1.0)
@@ -49,7 +49,7 @@ class RidgePredictor(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        Xn = (np.asarray(X, dtype=float) - self._x_mean) / self._x_std
+        Xn = (self._check_predict_input(X) - self._x_mean) / self._x_std
         return Xn @ self.coef_ + self.intercept_
 
     # ------------------------------------------------------------------ #

@@ -31,7 +31,7 @@ class LookupTableSurrogate(PredictorBase):
         self.bias_coef_: Optional[np.ndarray] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LookupTableSurrogate":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         self.table_, *_ = np.linalg.lstsq(X, y, rcond=None)
         if self.bias_correction:
             raw = X @ self.table_
@@ -41,7 +41,7 @@ class LookupTableSurrogate(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        X = np.asarray(X, dtype=float)
+        X = self._check_predict_input(X)
         raw = X @ self.table_
         if not self.bias_correction:
             return raw

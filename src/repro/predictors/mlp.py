@@ -69,7 +69,7 @@ class MLPPredictor(PredictorBase):
     # ------------------------------------------------------------------ #
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPPredictor":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         rng = np.random.default_rng(self.seed)
 
         self._x_mean = X.mean(axis=0)
@@ -155,7 +155,7 @@ class MLPPredictor(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        h = (np.asarray(X, dtype=float) - self._x_mean) / self._x_std
+        h = (self._check_predict_input(X) - self._x_mean) / self._x_std
         for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
             h = h @ w + b
             if layer < len(self._weights) - 1:

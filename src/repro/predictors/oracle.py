@@ -49,12 +49,10 @@ class PredictorOracle:
         spec: "SpaceSpec",
         name: Optional[str] = None,
     ):
-        from ..encodings import get_encoding
+        from ..encodings import encoder_for
 
         self.predictor = predictor
-        self.encoding = (
-            get_encoding(encoding) if isinstance(encoding, str) else encoding
-        )
+        self.encoding = encoder_for(encoding, spec)
         self.spec = spec
         self.name = name if name is not None else f"surrogate:{self.encoding.name}"
 

@@ -65,14 +65,21 @@ class Predictor(Protocol):
     def save(self, path: Union[str, Path]) -> None: ...
 
 
-def validate_fit_inputs(X, y) -> "tuple[np.ndarray, np.ndarray]":
-    """Coerce to float64 and check the `(n, d)` / `(n,)` shape contract."""
+def validate_fit_inputs(X, y, owner=None) -> "tuple[np.ndarray, np.ndarray]":
+    """Coerce to float64 and check the `(n, d)` / `(n,)` shape contract.
+
+    When ``owner`` (the predictor being fitted) is given, the training
+    feature width is recorded on it so ``predict`` can reject mismatched
+    matrices with a clear error instead of a shape-broadcast traceback.
+    """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float).reshape(-1)
     if X.ndim != 2 or X.shape[0] != y.shape[0]:
         raise ValueError("X must be (n, d) with one target per row")
     if X.shape[0] == 0:
         raise ValueError("fit needs at least one sample")
+    if owner is not None:
+        owner._n_features_in = X.shape[1]
     return X, y
 
 
@@ -80,6 +87,37 @@ class PredictorBase:
     """Shared predictor plumbing; subclasses set ``KIND`` and the state pair."""
 
     KIND: str = ""
+
+    # Training feature width, recorded by `validate_fit_inputs(..., owner=self)`.
+    # ``None`` means unknown (e.g. a predictor restored from disk), in which
+    # case the width check is skipped rather than guessed at.
+    _n_features_in: Union[int, None] = None
+
+    @property
+    def n_features_in_(self) -> "int | None":
+        """Feature width seen at ``fit`` time, or None if unknown."""
+        return self._n_features_in
+
+    def _check_predict_input(self, X) -> np.ndarray:
+        """Coerce predict input to a float64 ``(n, d)`` matrix.
+
+        The batcher's edge cases are part of the contract: a 0-row batch
+        passes through (every predictor returns an empty float64 array for
+        it), and a feature width that disagrees with the one seen at fit
+        time is rejected with an error naming both widths.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(
+                f"predict expects a 2-D (n, d) matrix, got shape {X.shape}"
+            )
+        expected = self._n_features_in
+        if expected is not None and X.shape[1] != expected:
+            raise ValueError(
+                f"predict expects {expected} features per row "
+                f"(the width seen at fit time), got {X.shape[1]}"
+            )
+        return X
 
     # ------------------------------------------------------------------ #
     # Hyperparameters

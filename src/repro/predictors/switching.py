@@ -133,7 +133,7 @@ class AdaptiveSwitchingPredictor(PredictorBase):
         return member
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaptiveSwitchingPredictor":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         n = X.shape[0]
         if n < 2:
             raise ValueError("adaptive switching needs at least 2 samples")
@@ -153,7 +153,19 @@ class AdaptiveSwitchingPredictor(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        return self._model.predict(X)
+        return self._model.predict(self._check_predict_input(X))
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """Single-query fast path: go straight to the winner.
+
+        The generic ``predict_one`` would stack the meta-layer's
+        delegation (and its input re-validation) on top of the winner's
+        own; serving workloads issue millions of single queries, so this
+        routes the 1-row batch through the winner's vectorized ``predict``
+        directly, paying the delegation cost once instead of twice.
+        """
+        self._require_fitted()
+        return self._model.predict_one(x)
 
     @property
     def model(self) -> PredictorBase:

@@ -207,7 +207,7 @@ class CARTPredictor(PredictorBase):
         self._tree: Optional[_RegressionTree] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "CARTPredictor":
-        X, y = validate_fit_inputs(X, y)
+        X, y = validate_fit_inputs(X, y, self)
         self._tree = _RegressionTree().fit(
             X,
             y,
@@ -219,7 +219,7 @@ class CARTPredictor(PredictorBase):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        return self._tree.predict(X)
+        return self._tree.predict(self._check_predict_input(X))
 
     @property
     def n_leaves(self) -> int:

@@ -176,3 +176,47 @@ def test_encode_batch_rejects_foreign_config(name):
     encoding = get_encoding(name)
     with pytest.raises(ValueError):
         encoding.encode_batch(batch + [foreign], resnet)
+
+
+class TestEncoderCache:
+    """`encoder_for` shares one encoder instance per (encoding, space)."""
+
+    def test_same_pair_returns_same_instance(self):
+        from repro import clear_encoder_cache, encoder_for
+
+        clear_encoder_cache()
+        spec = space_by_name("resnet")
+        first = encoder_for("fcc", spec)
+        assert encoder_for("fcc", spec) is first
+        # A different space or encoding gets its own instance.
+        assert encoder_for("fcc", space_by_name("densenet")) is not first
+        assert encoder_for("fc", spec) is not first
+
+    def test_instance_passthrough(self):
+        from repro import encoder_for
+
+        spec = space_by_name("resnet")
+        mine = get_encoding("fcc")
+        assert encoder_for(mine, spec) is mine
+
+    def test_cached_encoder_encodes_identically(self):
+        from repro import clear_encoder_cache, encoder_for
+
+        clear_encoder_cache()
+        spec = space_by_name("mobilenetv3")
+        batch = RandomSampler(spec, rng=3).sample_batch(8)
+        fresh = get_encoding("fcc").encode_batch(batch, spec)
+        for _ in range(2):  # second call exercises the cached instance
+            np.testing.assert_array_equal(
+                encoder_for("fcc", spec).encode_batch(batch, spec), fresh
+            )
+
+    def test_dataset_and_oracle_reuse_cached_encoder(self):
+        from repro import clear_encoder_cache, encoder_for
+        from repro.predictors import PredictorOracle, RidgePredictor
+
+        clear_encoder_cache()
+        spec = space_by_name("resnet")
+        shared = encoder_for("fcc", spec)
+        oracle = PredictorOracle(RidgePredictor(), "fcc", spec)
+        assert oracle.encoding is shared

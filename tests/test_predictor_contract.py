@@ -101,6 +101,25 @@ class TestFitPredict:
         with pytest.raises(ValueError):
             make(name).fit(X[0], y[:1])  # 1-D design matrix
 
+    def test_empty_batch_predicts_empty(self, name, toy):
+        """A 0-row batch (a micro-batcher flushing nothing) must not crash."""
+        X, y = toy
+        pred = make(name).fit(X, y).predict(np.empty((0, X.shape[1])))
+        assert isinstance(pred, np.ndarray)
+        assert pred.shape == (0,)
+        assert pred.dtype == np.float64
+
+    def test_wrong_feature_width_rejected(self, name, toy):
+        X, y = toy
+        predictor = make(name).fit(X, y)
+        assert predictor.n_features_in_ == X.shape[1]
+        with pytest.raises(ValueError, match="features"):
+            predictor.predict(np.zeros((3, X.shape[1] + 2)))
+        with pytest.raises(ValueError, match="features"):
+            predictor.predict(np.zeros((3, X.shape[1] - 1)))
+        with pytest.raises(ValueError, match="2-D"):
+            predictor.predict(np.zeros(X.shape[1]))  # 1-D row, not a batch
+
 
 class TestUnfitRejection:
     def test_predict_before_fit_raises(self, name):

@@ -239,3 +239,33 @@ class TestAdaptiveSwitching:
             AdaptiveSwitchingPredictor(zoo=["ridge"]).fit(
                 np.ones((1, 2)), np.ones(1)
             )
+
+
+class TestPredictOneFastPath:
+    """Single queries route straight through the winner's vectorized predict."""
+
+    def test_predict_one_matches_winner_batch_path(self):
+        X, y = _toy()
+        switcher = AdaptiveSwitchingPredictor(zoo=["ridge", "cart"]).fit(X, y)
+        winner = switcher.model
+        for row in X[:5]:
+            assert switcher.predict_one(row) == float(winner.predict(row[None, :])[0])
+
+    def test_predict_one_delegates_without_meta_layer(self):
+        X, y = _toy()
+        switcher = AdaptiveSwitchingPredictor(zoo=["ridge"]).fit(X, y)
+        calls = []
+        original = switcher.model.predict
+
+        def spy(batch):
+            calls.append(np.asarray(batch).shape)
+            return original(batch)
+
+        switcher._model.predict = spy
+        switcher.predict_one(X[0])
+        # Exactly one 1-row batch hits the winner; the meta-layer adds none.
+        assert calls == [(1, X.shape[1])]
+
+    def test_predict_one_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            AdaptiveSwitchingPredictor(zoo=["ridge"]).predict_one(np.zeros(4))

@@ -19,6 +19,7 @@ from . import (
     bench_measure,
     bench_nas,
     bench_predictors,
+    bench_search_fleet,
     bench_serve,
 )
 from .common import RESULTS_DIR, summarize
@@ -31,6 +32,7 @@ BENCHES = {
     "esm_loop": bench_esm_loop.run,
     "nas": bench_nas.run,
     "predictors": bench_predictors.run,
+    "search_fleet": bench_search_fleet.run,
     "serve": bench_serve.run,
 }
 
@@ -64,7 +66,12 @@ def main(argv=None) -> int:
         path, payload = BENCHES[name](smoke=args.smoke, out_dir=args.out)
         print(summarize(payload))
         print(f"  -> {path}")
-        for flag in ("bit_identical", "equivalent", "parallel_matches_sequential"):
+        for flag in (
+            "bit_identical",
+            "resume_bit_identical",
+            "equivalent",
+            "parallel_matches_sequential",
+        ):
             if payload.get(flag) is False:
                 print(f"  !! {name}: {flag} is False")
                 failures += 1

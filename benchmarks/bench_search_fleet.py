@@ -1,0 +1,123 @@
+"""Wall clock and dispersion of the many-seed `SearchFleet` driver.
+
+Runs the same constrained evolutionary search under N seeds three ways —
+parallel process pool, serial, and serial-resumed from the parallel run's
+member results — and reports the hypervolume/front-size dispersion bands
+plus two equivalence flags:
+
+* ``bit_identical``: the parallel and serial fleets produced the same
+  `FleetResult` JSON bytes (execution strategy never enters the result),
+* ``resume_bit_identical``: a second fleet pointed at the first one's
+  ``fleet_dir`` reproduced those bytes from the committed member results
+  without re-running a single search.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+from .common import write_result
+
+FAMILY = "resnet"
+DEVICE = "rtx4090"
+
+
+def _pool_context() -> str:
+    """Fork when the platform has it: workers inherit the warm imports
+    instead of paying a fresh interpreter + numpy import each."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _workload(smoke: bool):
+    if smoke:
+        return {"population_size": 8, "generations": 3}, 4
+    return {"population_size": 24, "generations": 8}, 8
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import (
+        DeviceOracle,
+        SearchConstraints,
+        SearchFleet,
+        SimulatedDevice,
+        SyntheticAccuracyProxy,
+        space_by_name,
+    )
+
+    spec = space_by_name(FAMILY)
+    device = SimulatedDevice(DEVICE, seed=0)
+    oracle = DeviceOracle(device)
+    proxy = SyntheticAccuracyProxy(spec, seed=0)
+    params, n_seeds = _workload(smoke)
+    constraints = SearchConstraints(max_latency_s=0.0009)
+    mp_context = _pool_context()
+
+    def fleet(**overrides):
+        kwargs = dict(
+            driver="evolutionary",
+            search_params=params,
+            n_seeds=n_seeds,
+            constraints=constraints,
+            mp_context=mp_context,
+        )
+        kwargs.update(overrides)
+        return SearchFleet(spec, oracle, proxy, **kwargs)
+
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        fleet_dir = Path(tmp) / "fleet"
+
+        t0 = time.perf_counter()
+        parallel = fleet(workers=4, fleet_dir=fleet_dir).run()
+        parallel_wall_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        resumed = fleet(fleet_dir=fleet_dir).run()
+        resume_wall_s = time.perf_counter() - t0
+
+        # Serial baseline checkpoints too (its own directory), so the two
+        # walls differ only in execution strategy, not durability cost.
+        t0 = time.perf_counter()
+        serial = fleet(fleet_dir=Path(tmp) / "serial").run()
+        serial_wall_s = time.perf_counter() - t0
+
+    payload = parallel.to_dict()
+    evaluations = sum(
+        m["n_evaluations"] for m in payload["members"].values()
+    )
+    band = payload["dispersion"]
+
+    cache_info = getattr(device, "cache_info", lambda: None)()
+    return write_result(
+        "search_fleet",
+        params={
+            "family": FAMILY,
+            "device": DEVICE,
+            "driver": "evolutionary",
+            "n_seeds": n_seeds,
+            **params,
+            "max_latency_s": constraints.max_latency_s,
+            "workers": 4,
+            "mp_context": mp_context,
+            "smoke": smoke,
+        },
+        wall_s=parallel_wall_s,
+        per_item_us=parallel_wall_s / evaluations * 1e6,
+        cache_hit_rate=None if cache_info is None else cache_info.hit_rate,
+        out_dir=out_dir,
+        serial_wall_s=round(serial_wall_s, 6),
+        resume_wall_s=round(resume_wall_s, 6),
+        speedup=round(serial_wall_s / parallel_wall_s, 4),
+        total_evaluations=evaluations,
+        feasible_median=band["n_feasible"]["median"],
+        hypervolume_median=round(band["hypervolume"]["median"], 6),
+        hypervolume_iqr=round(band["hypervolume"]["iqr"], 6),
+        front_size_median=band["front_size"]["median"],
+        degradations=[d["kind"] for d in payload["degradations"]],
+        bit_identical=parallel.to_json() == serial.to_json(),
+        resume_bit_identical=resumed.to_json() == parallel.to_json(),
+    )

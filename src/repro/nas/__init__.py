@@ -7,11 +7,24 @@ with the deterministic `SyntheticAccuracyProxy`, run `RandomSearch` /
 Pareto front (`displacement_metrics`, Fig. 2b).  The experiments entry
 point (``python -m repro.nas.experiments``) wires the whole chain through
 `ESMLoop`-trained surrogates for every encoding.
+
+Deployment-scale searching rides on top: `SearchConstraints` puts
+CNAS-style latency/params/FLOPs budgets on either driver (selection
+switches to the constrained-dominance sort), ``warm_start=`` seeds a new
+population from a previous front, ``checkpoint_dir=`` gives every search
+atomic per-generation checkpoints with byte-identical kill-and-resume,
+and `SearchFleet` (``python -m repro.nas.fleet``) runs N seeds in
+parallel and aggregates the fronts into median/IQR dispersion bands.
 """
 
+from .checkpoint import CheckpointState, SearchCheckpoint, SearchCheckpointError
+from .constraints import SearchConstraints, static_costs
+from .fleet import FleetError, FleetResult, SearchFleet
 from .pareto import (
     ParetoFront,
     ParetoPoint,
+    constrained_dominates,
+    constrained_non_dominated_rank,
     crowding_distance,
     displacement_metrics,
     non_dominated_rank,
@@ -24,10 +37,20 @@ __all__ = [
     "ParetoPoint",
     "ParetoFront",
     "non_dominated_rank",
+    "constrained_dominates",
+    "constrained_non_dominated_rank",
     "crowding_distance",
     "displacement_metrics",
     "Candidate",
     "SearchResult",
     "RandomSearch",
     "EvolutionarySearch",
+    "SearchConstraints",
+    "static_costs",
+    "SearchCheckpoint",
+    "SearchCheckpointError",
+    "CheckpointState",
+    "SearchFleet",
+    "FleetResult",
+    "FleetError",
 ]

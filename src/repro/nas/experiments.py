@@ -40,9 +40,10 @@ from ..hardware.simulator import SimulatedDevice
 from ..metrics import kendall_tau
 from ..predictors.oracle import DeviceOracle
 from ..utils import atomic_write_text
+from .constraints import SearchConstraints
 from .pareto import ParetoFront, ParetoPoint, displacement_metrics
 from .proxy import SyntheticAccuracyProxy
-from .search import EvolutionarySearch, RandomSearch
+from .search import EvolutionarySearch, RandomSearch, SearchResult
 
 __all__ = ["SURROGATES", "run_space", "format_report", "main"]
 
@@ -129,13 +130,48 @@ def _search_budgets(smoke: bool) -> dict:
     }
 
 
-def _make_searches(spec, oracle, proxy, seed: int, budgets: dict) -> dict:
+def _make_searches(
+    spec,
+    oracle,
+    proxy,
+    seed: int,
+    budgets: dict,
+    *,
+    constraints: Optional[SearchConstraints] = None,
+    warm_start=None,
+    checkpoint_root: Optional[Path] = None,
+) -> dict:
+    """Both drivers, identically parameterised.
+
+    ``checkpoint_root`` (set by ``--resume``) gives each driver its own
+    checkpoint directory under the workdir, so a killed experiment picks
+    every search up from its last completed generation/chunk.
+    """
+    extra = dict(constraints=constraints, warm_start=warm_start)
     return {
         "random": RandomSearch(
-            spec, oracle, proxy, seed=seed, **budgets["random"]
+            spec,
+            oracle,
+            proxy,
+            seed=seed,
+            checkpoint_dir=(
+                None if checkpoint_root is None else checkpoint_root / "random"
+            ),
+            **extra,
+            **budgets["random"],
         ),
         "evolutionary": EvolutionarySearch(
-            spec, oracle, proxy, seed=seed, **budgets["evolutionary"]
+            spec,
+            oracle,
+            proxy,
+            seed=seed,
+            checkpoint_dir=(
+                None
+                if checkpoint_root is None
+                else checkpoint_root / "evolutionary"
+            ),
+            **extra,
+            **budgets["evolutionary"],
         ),
     }
 
@@ -165,23 +201,43 @@ def run_space(
     workdir: Union[str, Path],
     workers: int = 1,
     surrogates: Optional[Sequence[str]] = None,
+    constraints: Optional[SearchConstraints] = None,
+    warm_start=None,
+    resume: bool = False,
 ) -> dict:
     """The full per-space experiment; returns the report fragment.
 
     ``surrogates`` restricts the run to a subset of `SURROGATES` labels
     (e.g. ``["as"]`` for just the adaptive switcher); default is all.
+    ``constraints`` puts the same deployment budgets on every search
+    (true-latency references included, so displacement compares
+    constrained front to constrained front); ``warm_start`` seeds every
+    search's initial population from a previous result; ``resume=True``
+    checkpoints each search under the (persistent) workdir.
     """
     spec = space_by_name(space)
     device = SimulatedDevice(device_name, seed=seed)
     proxy = SyntheticAccuracyProxy(spec, seed=seed)
     true_oracle = DeviceOracle(device)
     budgets = _search_budgets(smoke)
+    search_kwargs = dict(constraints=constraints, warm_start=warm_start)
+
+    def _checkpoint_root(label: str) -> Optional[Path]:
+        if not resume:
+            return None
+        return Path(workdir) / space / "search" / label
 
     # The reference outcome: the same seeded searches under true latency.
     true_results = {
         driver: search.run()
         for driver, search in _make_searches(
-            spec, true_oracle, proxy, seed, budgets
+            spec,
+            true_oracle,
+            proxy,
+            seed,
+            budgets,
+            checkpoint_root=_checkpoint_root("true"),
+            **search_kwargs,
         ).items()
     }
 
@@ -215,7 +271,13 @@ def run_space(
 
         searches_report: Dict[str, dict] = {}
         for driver, search in _make_searches(
-            spec, oracle, proxy, seed, budgets
+            spec,
+            oracle,
+            proxy,
+            seed,
+            budgets,
+            checkpoint_root=_checkpoint_root(label),
+            **search_kwargs,
         ).items():
             found = search.run()
             found_front_true = _true_front_of_configs(
@@ -224,6 +286,8 @@ def run_space(
             searches_report[driver] = displacement_metrics(
                 true_results[driver].front, found_front_true
             )
+            if constraints is not None and constraints.is_active:
+                searches_report[driver]["n_feasible"] = found.feasible_evaluations
         oracles_report[label] = {
             "predictor": predictor,
             "encoding": encoding,
@@ -240,7 +304,7 @@ def run_space(
             ),
         }
 
-    return {
+    fragment = {
         "device": device_name,
         "proxy": {
             "floor": proxy.floor,
@@ -256,6 +320,13 @@ def run_space(
         },
         "oracles": oracles_report,
     }
+    if constraints is not None and constraints.is_active:
+        fragment["constraints"] = constraints.to_dict()
+        fragment["true_feasible"] = {
+            driver: result.feasible_evaluations
+            for driver, result in true_results.items()
+        }
+    return fragment
 
 
 def format_report(report: dict) -> str:
@@ -296,10 +367,13 @@ def run_experiment(
     workdir: Union[str, Path],
     workers: int = 1,
     surrogates: Optional[Sequence[str]] = None,
+    constraints: Optional[SearchConstraints] = None,
+    warm_start=None,
+    resume: bool = False,
 ) -> dict:
     """Run every requested space and assemble the deterministic report."""
     budgets = _search_budgets(smoke)
-    return {
+    report = {
         "format_version": NAS_REPORT_FORMAT_VERSION,
         "kind": "nas_experiment_report",
         "seed": int(seed),
@@ -314,10 +388,16 @@ def run_experiment(
                 workdir=workdir,
                 workers=workers,
                 surrogates=surrogates,
+                constraints=constraints,
+                warm_start=warm_start,
+                resume=resume,
             )
             for space in spaces
         },
     }
+    if constraints is not None and constraints.is_active:
+        report["constraints"] = constraints.to_dict()
+    return report
 
 
 def main(argv=None) -> int:
@@ -358,7 +438,52 @@ def main(argv=None) -> int:
         default=None,
         help="ESM run-directory root, kept for resume (default: temporary)",
     )
+    parser.add_argument(
+        "--max-latency",
+        type=float,
+        default=None,
+        help="latency budget in seconds for constrained search",
+    )
+    parser.add_argument(
+        "--max-params",
+        type=float,
+        default=None,
+        help="parameter-count budget for constrained search",
+    )
+    parser.add_argument(
+        "--max-flops",
+        type=float,
+        default=None,
+        help="FLOPs budget for constrained search",
+    )
+    parser.add_argument(
+        "--warm-start",
+        default=None,
+        help="path to a SearchResult JSON whose front seeds new searches",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint every search under --workdir and resume from "
+        "whatever generations survive there (requires --workdir)",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and args.workdir is None:
+        parser.error("--resume requires --workdir")
+
+    constraints = None
+    if any(v is not None for v in (args.max_latency, args.max_params, args.max_flops)):
+        constraints = SearchConstraints(
+            max_latency_s=args.max_latency,
+            max_params=args.max_params,
+            max_flops=args.max_flops,
+        )
+    warm_start = None
+    if args.warm_start is not None:
+        warm_start = SearchResult.from_dict(
+            json.loads(Path(args.warm_start).read_text(encoding="utf-8"))
+        )
 
     spaces = args.spaces or (["resnet"] if args.smoke else list(SPACE_NAMES))
     kwargs = dict(
@@ -367,6 +492,9 @@ def main(argv=None) -> int:
         smoke=args.smoke,
         workers=args.workers,
         surrogates=args.surrogates,
+        constraints=constraints,
+        warm_start=warm_start,
+        resume=args.resume,
     )
     if args.workdir is None:
         with tempfile.TemporaryDirectory(prefix="esm-nas-") as tmp:

@@ -27,6 +27,8 @@ __all__ = [
     "ParetoPoint",
     "ParetoFront",
     "non_dominated_rank",
+    "constrained_dominates",
+    "constrained_non_dominated_rank",
     "crowding_distance",
     "displacement_metrics",
 ]
@@ -140,13 +142,43 @@ class ParetoFront:
             prev_acc = max(prev_acc, a)
         return float(volume)
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_configs: bool = False) -> dict:
+        """JSON payload; ``include_configs`` adds a parallel config list.
+
+        The default shape is unchanged from the original two-key form (the
+        golden fixtures and experiment reports are locked against it);
+        warm-start files and search checkpoints opt into the architecture
+        identities so a reloaded front can seed a new population.
+        """
+        payload = {
             "size": len(self._points),
             "points": [
                 [float(p.latency_s), float(p.accuracy)] for p in self._points
             ],
         }
+        if include_configs:
+            payload["configs"] = [
+                None if p.config is None else p.config.to_dict()
+                for p in self._points
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ParetoFront":
+        """Rebuild a front written by `to_dict` (configs optional)."""
+        configs = d.get("configs") or [None] * len(d["points"])
+        if len(configs) != len(d["points"]):
+            raise ValueError("front configs and points are misaligned")
+        return cls.from_points(
+            [
+                ParetoPoint(
+                    latency_s=float(lat),
+                    accuracy=float(acc),
+                    config=None if cfg is None else ArchConfig.from_dict(cfg),
+                )
+                for (lat, acc), cfg in zip(d["points"], configs)
+            ]
+        )
 
 
 def non_dominated_rank(points: Sequence[ParetoPoint]) -> np.ndarray:
@@ -168,8 +200,88 @@ def non_dominated_rank(points: Sequence[ParetoPoint]) -> np.ndarray:
     return ranks
 
 
-def crowding_distance(points: Sequence[ParetoPoint]) -> np.ndarray:
-    """NSGA-II crowding distance within one rank (boundaries infinite)."""
+def constrained_dominates(
+    p: ParetoPoint, q: ParetoPoint, violation_p: float, violation_q: float
+) -> bool:
+    """Deb's constrained-dominance rule over one candidate pair.
+
+    * a feasible point dominates every infeasible one,
+    * two infeasible points are ordered by total violation (less wins),
+    * two feasible points fall back to plain Pareto dominance.
+
+    The relation is a strict partial order (irreflexive, asymmetric,
+    transitive — the hypothesis suite asserts this), so the same peeling
+    loop NSGA-II uses for plain dominance works unchanged near a budget
+    boundary.  With both violations zero it *is* plain dominance, which
+    is what keeps unconstrained runs byte-identical to the pre-constraint
+    implementation.
+    """
+    feasible_p = violation_p <= 0.0
+    feasible_q = violation_q <= 0.0
+    if feasible_p and not feasible_q:
+        return True
+    if feasible_q and not feasible_p:
+        return False
+    if not feasible_p:  # both infeasible
+        return violation_p < violation_q
+    return p.dominates(q)
+
+
+def constrained_non_dominated_rank(
+    points: Sequence[ParetoPoint],
+    violations: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Front index per point under constrained dominance (0 = best).
+
+    ``violations`` aligns with ``points``; ``None`` (or all-zero) reduces
+    to `non_dominated_rank` exactly.  Feasible points occupy the leading
+    ranks among themselves; infeasible points follow in ascending total
+    violation, exact violation ties sharing a rank.
+    """
+    if violations is None:
+        return non_dominated_rank(points)
+    v = np.asarray(violations, dtype=float)
+    if len(v) != len(points):
+        raise ValueError("violations and points must be the same length")
+    if not len(v) or not (v > 0).any():
+        return non_dominated_rank(points)
+    n = len(points)
+    ranks = np.full(n, -1, dtype=int)
+    remaining = list(range(n))
+    rank = 0
+    while remaining:
+        front = [
+            i
+            for i in remaining
+            if not any(
+                constrained_dominates(points[j], points[i], v[j], v[i])
+                for j in remaining
+            )
+        ]
+        for i in front:
+            ranks[i] = rank
+        remaining = [i for i in remaining if ranks[i] == -1]
+        rank += 1
+    return ranks
+
+
+def crowding_distance(
+    points: Sequence[ParetoPoint], *, collapse_duplicates: bool = False
+) -> np.ndarray:
+    """NSGA-II crowding distance within one rank (boundaries infinite).
+
+    ``collapse_duplicates=True`` fixes the duplicate-objective-vector tie:
+    points sharing an exact ``(latency, accuracy)`` vector are crowded by
+    construction, yet the stable argsort hands one copy the boundary's
+    infinite distance (or an interior copy a gap computed against its own
+    clone), making exact clones look diverse.  With the flag, only the
+    first point of each duplicate group keeps its computed distance; every
+    later clone gets ``0.0``, so selection prunes copies first.  The
+    constrained search drivers enable this — selection clamped against a
+    budget boundary mass-produces clones of the best boundary point — and
+    the flag is opt-in so the unconstrained byte-locked trajectories are
+    untouched.
+    """
     n = len(points)
     if n == 0:
         return np.array([])
@@ -185,6 +297,14 @@ def crowding_distance(points: Sequence[ParetoPoint]) -> np.ndarray:
             distance[order[1:-1]] += (
                 values[order[2:]] - values[order[:-2]]
             ) / span
+    if collapse_duplicates:
+        seen = set()
+        for i, p in enumerate(points):
+            vector = (p.latency_s, p.accuracy)
+            if vector in seen:
+                distance[i] = 0.0
+            else:
+                seen.add(vector)
     return distance
 
 

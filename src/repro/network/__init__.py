@@ -1,6 +1,8 @@
 """Layer IR, per-family network builders, and cost analysis."""
 
 from .analysis import (
+    NetworkCosts,
+    network_costs,
     num_kernels,
     total_flops,
     total_params,
@@ -21,4 +23,6 @@ __all__ = [
     "total_traffic_bytes",
     "working_set_bytes",
     "num_kernels",
+    "NetworkCosts",
+    "network_costs",
 ]

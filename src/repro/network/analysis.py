@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from .ir import Network
 
 __all__ = [
@@ -10,6 +12,8 @@ __all__ = [
     "total_traffic_bytes",
     "working_set_bytes",
     "num_kernels",
+    "NetworkCosts",
+    "network_costs",
 ]
 
 
@@ -45,3 +49,40 @@ def working_set_bytes(net: Network) -> float:
 def num_kernels(net: Network) -> int:
     """Number of launched kernels (all IR layers launch exactly one)."""
     return len(net.layers)
+
+
+class NetworkCosts(NamedTuple):
+    """The static per-inference cost summary of one lowered network.
+
+    This is the deployment-budget view of an architecture — the quantities
+    a `repro.nas.constraints.SearchConstraints` budget is written against —
+    collected in one pass over the IR so constraint evaluation does not
+    re-walk the layer list once per budget axis.
+    """
+
+    flops: float
+    params: float
+    traffic_bytes: float
+    working_set_bytes: float
+    num_kernels: int
+
+
+def network_costs(net: Network) -> NetworkCosts:
+    """All static cost totals of ``net`` in a single IR traversal."""
+    flops = params = traffic = weights = 0.0
+    peak_activation = 0.0
+    for layer in net.layers:
+        flops += layer.flops
+        params += layer.params
+        traffic += layer.traffic_bytes
+        weights += layer.weight_bytes
+        peak_activation = max(
+            peak_activation, layer.input_bytes + layer.output_bytes
+        )
+    return NetworkCosts(
+        flops=flops,
+        params=params,
+        traffic_bytes=traffic,
+        working_set_bytes=weights + peak_activation,
+        num_kernels=len(net.layers),
+    )

@@ -1,0 +1,109 @@
+"""Regenerate ``nas_constrained_golden_trace.json`` after an intentional change.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/regen_nas_constrained_golden_trace.py
+
+Same contract as ``regen_nas_golden_trace.py``: the search parameters must
+stay identical to ``GOLDEN_PARAMS`` below, which the test suite asserts
+against the committed fixture.  On top of the population/front lock, this
+fixture also records the constraint violations of every evaluated
+candidate and the constrained-dominance rank of the final population, so
+a regression in Deb's rule shows up as a rank diff — not just a changed
+trajectory.
+"""
+
+import json
+from pathlib import Path
+
+from repro import (
+    DeviceOracle,
+    EvolutionarySearch,
+    SearchConstraints,
+    SimulatedDevice,
+    SyntheticAccuracyProxy,
+    space_by_name,
+)
+from repro.nas.pareto import constrained_non_dominated_rank
+
+GOLDEN_PARAMS = {
+    "space": "resnet",
+    "device": "rtx4090",
+    "device_seed": 0,
+    "proxy_seed": 0,
+    "population_size": 10,
+    "generations": 4,
+    "tournament_size": 2,
+    "crossover_prob": 0.9,
+    "p_depth": 0.25,
+    "p_block": 0.2,
+    "seed": 7,
+    "max_latency_s": 0.0009,
+    "max_params": 6.0e7,
+}
+
+
+def golden_constraints():
+    return SearchConstraints(
+        max_latency_s=GOLDEN_PARAMS["max_latency_s"],
+        max_params=GOLDEN_PARAMS["max_params"],
+    )
+
+
+def run_golden_search():
+    spec = space_by_name(GOLDEN_PARAMS["space"])
+    device = SimulatedDevice(
+        GOLDEN_PARAMS["device"], seed=GOLDEN_PARAMS["device_seed"]
+    )
+    proxy = SyntheticAccuracyProxy(spec, seed=GOLDEN_PARAMS["proxy_seed"])
+    search = EvolutionarySearch(
+        spec,
+        DeviceOracle(device),
+        proxy,
+        population_size=GOLDEN_PARAMS["population_size"],
+        generations=GOLDEN_PARAMS["generations"],
+        tournament_size=GOLDEN_PARAMS["tournament_size"],
+        crossover_prob=GOLDEN_PARAMS["crossover_prob"],
+        p_depth=GOLDEN_PARAMS["p_depth"],
+        p_block=GOLDEN_PARAMS["p_block"],
+        seed=GOLDEN_PARAMS["seed"],
+        constraints=golden_constraints(),
+    )
+    return search.run()
+
+
+def population_ranks(result):
+    """Constrained-dominance ranks of the final population, in order."""
+    constraints = golden_constraints()
+    points = [c.point() for c in result.population]
+    violations = constraints.violations(
+        [c.config for c in result.population],
+        [c.latency_s for c in result.population],
+    )
+    return [int(r) for r in constrained_non_dominated_rank(points, violations)]
+
+
+def main() -> None:
+    result = run_golden_search()
+    fixture = {
+        "format_version": 1,
+        "kind": "nas_constrained_golden_trace",
+        "params": GOLDEN_PARAMS,
+        "n_evaluations": result.n_evaluations,
+        "n_feasible": result.feasible_evaluations,
+        "population": [c.to_dict() for c in result.population],
+        "violations": [float(v) for v in result.violations()],
+        "population_ranks": population_ranks(result),
+        "front": result.front.to_dict(),
+    }
+    out = Path(__file__).parent / "nas_constrained_golden_trace.json"
+    out.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out} (evaluations={result.n_evaluations}, "
+        f"feasible={result.feasible_evaluations}, "
+        f"front size={len(result.front)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

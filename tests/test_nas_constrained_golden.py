@@ -1,0 +1,155 @@
+"""Golden-trace regression test for *constrained* `EvolutionarySearch`.
+
+Mirror of ``test_nas_golden.py`` with latency/params budgets active: the
+same seeded NSGA-II run under `SearchConstraints` is re-executed and
+locked against ``tests/fixtures/nas_constrained_golden_trace.json``.  On
+top of the population/front locks, the fixture also pins
+
+* every evaluated candidate's total constraint violation, and
+* the constrained-dominance rank of the final population,
+
+so a regression in Deb's rule (feasible-dominates-infeasible, infeasible
+ordered by violation) surfaces as a rank diff even when the discrete
+trajectory happens to survive.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/fixtures/regen_nas_constrained_golden_trace.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE_PATH = FIXTURES / "nas_constrained_golden_trace.json"
+
+sys.path.insert(0, str(FIXTURES))
+from regen_nas_constrained_golden_trace import (  # noqa: E402
+    GOLDEN_PARAMS,
+    golden_constraints,
+    population_ranks,
+    run_golden_search,
+)
+
+sys.path.pop(0)
+
+
+@pytest.fixture(scope="module")
+def fixture_raw():
+    assert FIXTURE_PATH.exists(), "committed constrained golden fixture missing"
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    return run_golden_search()
+
+
+class TestFixtureSchema:
+    """Schema lock: the fixture's shape is part of the contract."""
+
+    def test_header(self, fixture_raw):
+        assert fixture_raw["format_version"] == 1
+        assert fixture_raw["kind"] == "nas_constrained_golden_trace"
+        assert set(fixture_raw) == {
+            "format_version",
+            "kind",
+            "params",
+            "n_evaluations",
+            "n_feasible",
+            "population",
+            "violations",
+            "population_ranks",
+            "front",
+        }
+
+    def test_params_match_the_regen_constant(self, fixture_raw):
+        assert fixture_raw["params"] == GOLDEN_PARAMS
+
+    def test_candidate_schema(self, fixture_raw):
+        assert len(fixture_raw["population"]) == GOLDEN_PARAMS["population_size"]
+        for entry in fixture_raw["population"]:
+            assert set(entry) == {"config", "latency_s", "accuracy"}
+            assert entry["config"]["family"] == GOLDEN_PARAMS["space"]
+            assert entry["latency_s"] > 0
+        front = fixture_raw["front"]
+        assert set(front) == {"size", "points"}
+        assert front["size"] == len(front["points"])
+
+    def test_violation_vectors_are_consistent(self, fixture_raw):
+        violations = fixture_raw["violations"]
+        assert len(violations) == fixture_raw["n_evaluations"]
+        assert all(v >= 0.0 for v in violations)
+        assert sum(1 for v in violations if v == 0.0) == fixture_raw["n_feasible"]
+        ranks = fixture_raw["population_ranks"]
+        assert len(ranks) == len(fixture_raw["population"])
+        assert min(ranks) == 0
+
+
+class TestGoldenTrace:
+    def test_evaluation_budget(self, golden_result, fixture_raw):
+        expected = GOLDEN_PARAMS["population_size"] * (
+            GOLDEN_PARAMS["generations"] + 1
+        )
+        assert golden_result.n_evaluations == expected
+        assert fixture_raw["n_evaluations"] == expected
+
+    def test_constraints_are_binding(self, golden_result, fixture_raw):
+        # The budgets were chosen so the run straddles the boundary: some
+        # evaluations violate, some don't.  A fixture where nothing (or
+        # everything) violates would not exercise Deb's rule at all.
+        assert 0 < golden_result.feasible_evaluations < golden_result.n_evaluations
+        assert golden_result.feasible_evaluations == fixture_raw["n_feasible"]
+
+    def test_population_matches_fixture(self, golden_result, fixture_raw):
+        produced = [c.to_dict() for c in golden_result.population]
+        expected = fixture_raw["population"]
+        assert len(produced) == len(expected)
+        for i, (got, want) in enumerate(zip(produced, expected)):
+            # The discrete architecture trajectory is exact ...
+            assert got["config"] == want["config"], f"population[{i}]"
+            # ... objective values allow BLAS-level float drift.
+            assert got["latency_s"] == pytest.approx(want["latency_s"], rel=1e-9)
+            assert got["accuracy"] == pytest.approx(want["accuracy"], rel=1e-9)
+
+    def test_violations_match_fixture(self, golden_result, fixture_raw):
+        produced = [float(v) for v in golden_result.violations()]
+        expected = fixture_raw["violations"]
+        assert len(produced) == len(expected)
+        for got, want in zip(produced, expected):
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-12)
+
+    def test_population_ranks_match_fixture(self, golden_result, fixture_raw):
+        assert population_ranks(golden_result) == fixture_raw["population_ranks"]
+
+    def test_front_matches_fixture(self, golden_result, fixture_raw):
+        produced = golden_result.front.to_dict()
+        expected = fixture_raw["front"]
+        assert produced["size"] == expected["size"]
+        for got, want in zip(produced["points"], expected["points"]):
+            assert got == pytest.approx(want, rel=1e-9)
+
+    def test_front_is_entirely_feasible(self, golden_result):
+        constraints = golden_constraints()
+        feasible = [
+            c
+            for c in golden_result.evaluated
+            if constraints.is_feasible(c.config, c.latency_s)
+        ]
+        assert feasible, "budgets left no feasible candidate"
+        front_points = {(p.latency_s, p.accuracy) for p in golden_result.front}
+        feasible_points = {(c.latency_s, c.accuracy) for c in feasible}
+        assert front_points <= feasible_points
+
+    def test_front_is_non_dominated_among_feasible(self, golden_result):
+        constraints = golden_constraints()
+        feasible_points = [
+            c.point()
+            for c in golden_result.evaluated
+            if constraints.is_feasible(c.config, c.latency_s)
+        ]
+        for p in golden_result.front:
+            assert not any(q.dominates(p) for q in feasible_points)

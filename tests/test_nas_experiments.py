@@ -77,3 +77,14 @@ class TestPaperHeadline:
         oracles = report["spaces"]["resnet"]["oracles"]
         assert oracles["fcc"]["kendall_tau"] > oracles["onehot"]["kendall_tau"]
         assert oracles["fc"]["kendall_tau"] > oracles["onehot"]["kendall_tau"]
+
+
+class TestCLIValidation:
+    def test_resume_requires_workdir(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--smoke", "--resume"])
+        assert excinfo.value.code == 2
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            main(["--smoke", "--max-latency", "-1.0"])

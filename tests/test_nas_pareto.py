@@ -159,3 +159,94 @@ class TestDisplacementMetrics:
         metrics = displacement_metrics(a, b)
         assert np.isfinite(metrics["displacement"])
         assert metrics["jaccard"] == 0.0
+
+
+class TestHypervolumeEdgeCases:
+    """Regression lock for the single-point and degenerate references."""
+
+    def test_single_point_is_one_rectangle(self):
+        front = ParetoFront.from_points([ParetoPoint(1.0, 90.0)])
+        assert front.hypervolume(3.0, 80.0) == pytest.approx(20.0)
+
+    def test_single_point_on_the_reference_is_zero(self):
+        front = ParetoFront.from_points([ParetoPoint(2.0, 85.0)])
+        assert front.hypervolume(2.0, 85.0) == 0.0
+
+    def test_duplicate_objective_points_add_no_volume(self):
+        once = ParetoFront([ParetoPoint(1.0, 90.0)])
+        twice = ParetoFront([ParetoPoint(1.0, 90.0), ParetoPoint(1.0, 90.0)])
+        ref = (4.0, 80.0)
+        assert twice.hypervolume(*ref) == pytest.approx(once.hypervolume(*ref))
+
+
+class TestCrowdingDuplicateCollapse:
+    def test_default_keeps_historic_behaviour(self):
+        points = [
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(2.0, 95.0),
+        ]
+        d = crowding_distance(points)
+        # The clone's gap is computed against its own duplicate, handing
+        # it a non-zero distance: the historic wart the opt-in flag fixes.
+        assert np.isinf(d[0]) and np.isinf(d[2])
+        assert d[1] > 0.0
+
+    def test_collapse_zeroes_every_clone_after_the_first(self):
+        points = [
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(2.0, 95.0),
+            ParetoPoint(1.0, 90.0),
+        ]
+        d = crowding_distance(points, collapse_duplicates=True)
+        assert np.isinf(d[0])
+        assert d[1] == 0.0 and d[3] == 0.0
+        assert np.isinf(d[2])
+
+    def test_collapse_is_noop_without_duplicates(self):
+        points = [
+            ParetoPoint(1.0, 90.0),
+            ParetoPoint(2.0, 93.0),
+            ParetoPoint(3.0, 95.0),
+        ]
+        plain = crowding_distance(points)
+        collapsed = crowding_distance(points, collapse_duplicates=True)
+        assert np.array_equal(plain, collapsed)
+
+
+class TestFrontSerialisation:
+    def test_round_trip_without_configs(self):
+        front = ParetoFront.from_points(
+            [ParetoPoint(1.0, 90.0), ParetoPoint(2.0, 95.0)]
+        )
+        rebuilt = ParetoFront.from_dict(front.to_dict())
+        assert rebuilt == front
+
+    def test_default_shape_is_the_locked_two_key_form(self):
+        front = ParetoFront.from_points([ParetoPoint(1.0, 90.0)])
+        assert set(front.to_dict()) == {"size", "points"}
+
+    def test_round_trip_with_configs(self):
+        from repro.archspace import RandomSampler
+        from repro import space_by_name
+
+        spec = space_by_name("resnet")
+        configs = RandomSampler(spec, rng=0).sample_batch(2)
+        front = ParetoFront.from_points(
+            [
+                ParetoPoint(1.0, 90.0, configs[0]),
+                ParetoPoint(2.0, 95.0, configs[1]),
+            ]
+        )
+        payload = front.to_dict(include_configs=True)
+        assert set(payload) == {"size", "points", "configs"}
+        rebuilt = ParetoFront.from_dict(payload)
+        assert rebuilt == front
+        assert [p.config for p in rebuilt] == configs
+
+    def test_misaligned_configs_rejected(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            ParetoFront.from_dict(
+                {"size": 2, "points": [[1.0, 90.0], [2.0, 95.0]], "configs": [None]}
+            )

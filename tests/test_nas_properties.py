@@ -1,0 +1,280 @@
+"""Property-based tests for the constrained/warm-started/resumable search.
+
+Four families of invariants, each driven by hypothesis:
+
+* `constrained_dominates` is a strict partial order (irreflexive,
+  asymmetric, transitive) for arbitrary objective vectors and violation
+  totals — the precondition for NSGA-II front peeling to terminate and
+  produce a unique ranking,
+* a feasible candidate always beats an infeasible one, and with all-zero
+  violations the constrained rank *is* the plain non-dominated rank,
+* warm-start members always occupy the head of generation 0, whatever
+  subset of a previous front is handed over,
+* a checkpointed search killed after an arbitrary number of steps and
+  resumed by a fresh driver instance produces byte-identical
+  `SearchResult` JSON to the uninterrupted run.
+
+Search-driver properties run tiny searches (population 6 or budget ~12)
+against the simulated device, so example counts are kept deliberately
+small; the pure-function dominance properties afford hundreds.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DeviceOracle,
+    EvolutionarySearch,
+    RandomSearch,
+    SearchConstraints,
+    SimulatedDevice,
+    SyntheticAccuracyProxy,
+    space_by_name,
+)
+from repro.archspace import RandomSampler
+from repro.nas.pareto import (
+    ParetoPoint,
+    constrained_dominates,
+    constrained_non_dominated_rank,
+    non_dominated_rank,
+)
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+finite = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+# Violation totals: mostly feasible (exactly 0.0) with a band of strictly
+# positive excesses, which is what a budget boundary actually produces.
+violation = st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=5.0))
+
+scored_points = st.lists(
+    st.tuples(finite, finite, violation), min_size=1, max_size=12
+).map(
+    lambda rows: (
+        [ParetoPoint(lat, acc) for lat, acc, _ in rows],
+        np.array([v for _, _, v in rows]),
+    )
+)
+
+
+# --------------------------------------------------------------------- #
+# Constrained dominance is a strict partial order
+# --------------------------------------------------------------------- #
+
+
+class TestConstrainedDominanceOrder:
+    @given(scored_points)
+    @settings(max_examples=200, deadline=None)
+    def test_irreflexive(self, scored):
+        points, v = scored
+        for p, vp in zip(points, v):
+            assert not constrained_dominates(p, p, vp, vp)
+
+    @given(scored_points)
+    @settings(max_examples=200, deadline=None)
+    def test_asymmetric(self, scored):
+        points, v = scored
+        for i, (p, vp) in enumerate(zip(points, v)):
+            for q, vq in zip(points[i + 1 :], v[i + 1 :]):
+                assert not (
+                    constrained_dominates(p, q, vp, vq)
+                    and constrained_dominates(q, p, vq, vp)
+                )
+
+    @given(scored_points)
+    @settings(max_examples=100, deadline=None)
+    def test_transitive(self, scored):
+        points, v = scored
+        n = len(points)
+        dom = [
+            [
+                constrained_dominates(points[i], points[j], v[i], v[j])
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        for i in range(n):
+            for j in range(n):
+                if not dom[i][j]:
+                    continue
+                for k in range(n):
+                    if dom[j][k]:
+                        assert dom[i][k], (i, j, k)
+
+    @given(scored_points)
+    @settings(max_examples=100, deadline=None)
+    def test_feasible_always_beats_infeasible(self, scored):
+        points, v = scored
+        for p, vp in zip(points, v):
+            for q, vq in zip(points, v):
+                if vp == 0.0 and vq > 0.0:
+                    assert constrained_dominates(p, q, vp, vq)
+                    assert not constrained_dominates(q, p, vq, vp)
+
+    @given(scored_points)
+    @settings(max_examples=100, deadline=None)
+    def test_reduces_to_plain_dominance_when_feasible(self, scored):
+        points, _ = scored
+        zeros = np.zeros(len(points))
+        for p, vp in zip(points, zeros):
+            for q, vq in zip(points, zeros):
+                assert constrained_dominates(p, q, vp, vq) == p.dominates(q)
+
+
+class TestConstrainedRank:
+    @given(scored_points)
+    @settings(max_examples=100, deadline=None)
+    def test_all_zero_violations_reduce_to_plain_rank(self, scored):
+        points, v = scored
+        plain = non_dominated_rank(points)
+        assert np.array_equal(
+            constrained_non_dominated_rank(points, np.zeros_like(v)), plain
+        )
+        assert np.array_equal(
+            constrained_non_dominated_rank(points, None), plain
+        )
+
+    @given(scored_points)
+    @settings(max_examples=100, deadline=None)
+    def test_rank_zero_is_undominated_and_complete(self, scored):
+        points, v = scored
+        ranks = constrained_non_dominated_rank(points, v)
+        assert (ranks >= 0).all()
+        n = len(points)
+        for i in range(n):
+            dominated = any(
+                constrained_dominates(points[j], points[i], v[j], v[i])
+                for j in range(n)
+            )
+            if ranks[i] == 0:
+                assert not dominated
+            else:
+                # A non-zero rank means someone in an earlier front wins.
+                assert any(
+                    ranks[j] < ranks[i]
+                    and constrained_dominates(points[j], points[i], v[j], v[i])
+                    for j in range(n)
+                )
+
+    @given(scored_points)
+    @settings(max_examples=100, deadline=None)
+    def test_feasible_points_rank_ahead_of_infeasible(self, scored):
+        points, v = scored
+        if not (v == 0.0).any() or not (v > 0.0).any():
+            return
+        ranks = constrained_non_dominated_rank(points, v)
+        worst_feasible = max(r for r, vi in zip(ranks, v) if vi == 0.0)
+        best_infeasible = min(r for r, vi in zip(ranks, v) if vi > 0.0)
+        assert worst_feasible < best_infeasible
+
+
+# --------------------------------------------------------------------- #
+# Search-driver properties (tiny searches, few examples)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = space_by_name("resnet")
+    device = SimulatedDevice("rtx4090", seed=0)
+    return spec, DeviceOracle(device), SyntheticAccuracyProxy(spec, seed=0)
+
+
+class TestWarmStartProperty:
+    @given(seed=st.integers(0, 2**16), n_warm=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_warm_members_lead_generation_zero(self, harness, seed, n_warm):
+        spec, oracle, proxy = harness
+        warm = RandomSampler(spec, rng=seed + 1).sample_batch(n_warm)
+        search = EvolutionarySearch(
+            spec,
+            oracle,
+            proxy,
+            population_size=6,
+            generations=1,
+            seed=seed,
+            warm_start=warm,
+        )
+        result = search.run()
+        expected = warm[: search.population_size]
+        head = [c.config for c in result.evaluated[: len(expected)]]
+        assert head == expected
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_front_warm_start_round_trip(self, harness, seed):
+        """A previous result's front seeds the next search verbatim."""
+        spec, oracle, proxy = harness
+        first = RandomSearch(
+            spec, oracle, proxy, budget=8, seed=seed
+        ).run()
+        second = EvolutionarySearch(
+            spec,
+            oracle,
+            proxy,
+            population_size=6,
+            generations=1,
+            seed=seed,
+            warm_start=first,
+        )
+        result = second.run()
+        expected = first.front_configs[: second.population_size]
+        head = [c.config for c in result.evaluated[: len(expected)]]
+        assert head == expected
+
+
+class TestResumeProperty:
+    @given(seed=st.integers(0, 2**16), kill_after=st.integers(0, 3))
+    @settings(max_examples=6, deadline=None)
+    def test_evolutionary_kill_anywhere_resume_identical(
+        self, harness, seed, kill_after
+    ):
+        spec, oracle, proxy = harness
+        params = dict(population_size=6, generations=3, seed=seed)
+        baseline = EvolutionarySearch(spec, oracle, proxy, **params).run()
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = Path(tmp) / "ckpt"
+            EvolutionarySearch(
+                spec, oracle, proxy, checkpoint_dir=ckpt, **params
+            ).run(max_generations=kill_after)
+            resumed = EvolutionarySearch(
+                spec, oracle, proxy, checkpoint_dir=ckpt, **params
+            ).run()
+        assert resumed.to_json() == baseline.to_json()
+
+    @given(seed=st.integers(0, 2**16), kill_after=st.integers(0, 4))
+    @settings(max_examples=6, deadline=None)
+    def test_random_kill_anywhere_resume_identical(
+        self, harness, seed, kill_after
+    ):
+        spec, oracle, proxy = harness
+        cons = SearchConstraints(max_latency_s=0.0009)
+        params = dict(budget=12, seed=seed, constraints=cons)
+        baseline = RandomSearch(spec, oracle, proxy, **params).run()
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = Path(tmp) / "ckpt"
+            RandomSearch(
+                spec,
+                oracle,
+                proxy,
+                checkpoint_dir=ckpt,
+                checkpoint_every=3,
+                **params,
+            ).run(max_chunks=kill_after)
+            resumed = RandomSearch(
+                spec,
+                oracle,
+                proxy,
+                checkpoint_dir=ckpt,
+                checkpoint_every=3,
+                **params,
+            ).run()
+        assert resumed.to_json() == baseline.to_json()

@@ -21,6 +21,7 @@ from . import (
     bench_predictors,
     bench_search_fleet,
     bench_serve,
+    bench_transfer,
 )
 from .common import RESULTS_DIR, summarize
 
@@ -34,6 +35,7 @@ BENCHES = {
     "predictors": bench_predictors.run,
     "search_fleet": bench_search_fleet.run,
     "serve": bench_serve.run,
+    "transfer": bench_transfer.run,
 }
 
 

@@ -1,0 +1,93 @@
+"""Cross-device transfer: map-fit throughput and the budget-sweep cost.
+
+Two layers:
+
+* the `MonotoneLatencyMap` microbenchmark — PAVA fit plus interpolated
+  apply over a large paired sample, priced per pair.  The map sits on
+  the hot path of every transfer refit (the ESM loop refits it each
+  extension round), so its throughput is worth watching;
+* the experiment macro-run — the same seeded budget sweep the CI smoke
+  step executes, timed end to end and re-run to assert the report is
+  reproduced byte for byte (``bit_identical``).  The record carries the
+  half-budget verdict so a quality regression (transfer no longer
+  beating from-scratch on the golden pair) fails the benchmark gate,
+  not just the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from .common import best_of, write_result
+
+SEED = 1
+
+
+def _map_workload(n_pairs: int, seed: int):
+    """A noisy monotone relation, like proxy predictions vs target truth."""
+    rng = np.random.default_rng(seed)
+    proxy = np.sort(rng.uniform(0.1e-3, 5e-3, size=n_pairs))
+    target = 3.0 * proxy**0.9 + rng.normal(scale=2e-4, size=n_pairs)
+    return proxy, target
+
+
+def run(smoke: bool = False, out_dir=None):
+    from repro import MonotoneLatencyMap
+    from repro.transfer.experiments import run_experiment
+
+    # -- micro: PAVA fit + apply throughput ---------------------------- #
+    n_pairs = 2_000 if smoke else 50_000
+    proxy, target = _map_workload(n_pairs, SEED)
+    fit_s, fitted = best_of(
+        lambda: MonotoneLatencyMap().fit(proxy, target), repeat=3
+    )
+    queries = _map_workload(n_pairs, SEED + 1)[0]
+    apply_s, _ = best_of(lambda: fitted.apply(queries), repeat=3)
+
+    # -- macro: the seeded budget sweep, twice ------------------------- #
+    if smoke:
+        experiment = dict(
+            devices=["rtx4090", "raspberrypi4"],
+            budgets=[10, 25],
+            smoke=True,
+            seed=0,
+        )
+    else:
+        # The exact config the CI smoke step and the golden trace lock.
+        experiment = dict(smoke=True, seed=0)
+    t0 = time.perf_counter()
+    report = run_experiment(**experiment)
+    experiment_s = time.perf_counter() - t0
+    rerun = run_experiment(**experiment)
+    bit_identical = json.dumps(report, sort_keys=True) == json.dumps(
+        rerun, sort_keys=True
+    )
+
+    summary = report["summary"]
+    golden = report["pairs"].get("rtx4090->raspberrypi4", {})
+    return write_result(
+        "transfer",
+        params={
+            "n_map_pairs": n_pairs,
+            "experiment": {
+                k: v for k, v in experiment.items() if k != "devices"
+            },
+            "n_experiment_pairs": summary["n_pairs"],
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        wall_s=experiment_s,
+        per_item_us=fit_s / n_pairs * 1e6,
+        cache_hit_rate=None,
+        out_dir=out_dir,
+        map_fit_ms=round(fit_s * 1e3, 3),
+        map_apply_us_per_row=round(apply_s / n_pairs * 1e6, 4),
+        map_knots=fitted.n_knots,
+        experiment_wall_s=round(experiment_s, 3),
+        half_budget_wins=summary["n_half_budget_ok"],
+        golden_pair_half_budget_ok=golden.get("half_budget_ok"),
+        bit_identical=bit_identical,
+    )

@@ -12,7 +12,7 @@ produced it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..archspace.spaces import SPACE_NAMES
 from ..encodings import ENCODINGS
@@ -53,6 +53,13 @@ class ESMConfig:
     initial_sampler: str = "balanced"
     seed: int = 0
 
+    # Cross-device transfer warm start: path to a finished proxy-device
+    # run directory (``report.json`` + ``predictor.json``).  When set, the
+    # loop wraps that run's predictor in a frozen-proxy
+    # `TransferPredictor` and every measurement this run pays for is a
+    # target-device pair that only refits the monotone latency map.
+    transfer_from: Optional[str] = None
+
     # Measurement protocol + campaign QC (paper defaults).
     runs: int = 150
     trim_fraction: float = 0.2
@@ -72,6 +79,12 @@ class ESMConfig:
             raise ValueError(
                 f"unknown predictor {self.predictor!r}; "
                 f"available: {', '.join(PREDICTORS)}"
+            )
+        if self.transfer_from is not None and self.predictor != "transfer":
+            raise ValueError(
+                "transfer_from requires predictor='transfer' "
+                f"(got predictor={self.predictor!r}); the warm start wraps "
+                "the proxy run's surrogate in a TransferPredictor"
             )
         if self.initial_sampler not in _SAMPLERS:
             raise ValueError(
@@ -111,6 +124,10 @@ class ESMConfig:
     def to_dict(self) -> dict:
         d = {f.name: getattr(self, f.name) for f in fields(self)}
         d["predictor_params"] = dict(self.predictor_params)
+        # Written only when set, so configs (and the golden fixtures built
+        # on them) that predate the transfer layer round-trip unchanged.
+        if self.transfer_from is None:
+            del d["transfer_from"]
         return d
 
     @classmethod

@@ -150,6 +150,54 @@ class ESMLoop:
             k=config.n_references,
             rng=_stream(config.seed, _SLOT_REFERENCES, 0),
         )
+        # Transfer warm start: load (and sanity-check) the proxy-device
+        # run's predictor payload once, up front, so a missing or
+        # incompatible proxy run fails before any measurement is spent.
+        self._proxy_payload = (
+            None
+            if config.transfer_from is None
+            else self._load_proxy_payload(Path(config.transfer_from))
+        )
+
+    def _load_proxy_payload(self, proxy_dir: Path) -> dict:
+        """The proxy run's predictor payload, compatibility-checked.
+
+        The proxy surrogate's feature space is fixed by the run that
+        trained it, so its encoding and architecture space must match this
+        config's — a mismatch would silently feed garbage features through
+        the frozen proxy, which is exactly the failure mode transfer tests
+        exist to catch.  The proxy *device* is expected to differ; that is
+        the point.
+        """
+        import json
+
+        predictor_path = proxy_dir / PREDICTOR_FILENAME
+        if not predictor_path.exists():
+            raise ValueError(
+                f"transfer_from run {proxy_dir} has no {PREDICTOR_FILENAME}; "
+                "the proxy run must have been trained with a persistable "
+                "predictor"
+            )
+        report_path = proxy_dir / REPORT_FILENAME
+        if report_path.exists():
+            proxy_config = ESMRunReport.load(report_path).config
+            for field in ("encoding", "space"):
+                ours = getattr(self.config, field)
+                theirs = proxy_config.get(field)
+                if theirs != ours:
+                    raise ValueError(
+                        f"transfer_from run {proxy_dir} was trained with "
+                        f"{field}={theirs!r} but this config uses "
+                        f"{field}={ours!r}; the frozen proxy's feature "
+                        "space must match"
+                    )
+        try:
+            return json.loads(predictor_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"transfer_from predictor file {predictor_path} is not "
+                f"valid JSON: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     # Pieces
@@ -173,6 +221,11 @@ class ESMLoop:
 
     def _make_predictor(self):
         params = dict(self.config.predictor_params)
+        if self._proxy_payload is not None:
+            # The transfer warm start: every refit wraps the same frozen
+            # proxy surrogate, so only the monotone map learns from this
+            # run's (target-device) measurements.
+            params.setdefault("proxy_payload", self._proxy_payload)
         predictor = get_predictor(self.config.predictor, **params)
         # Predictors with their own init RNG follow the run seed unless
         # the params pin one explicitly.

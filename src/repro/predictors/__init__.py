@@ -36,6 +36,7 @@ __all__ = [
     "RandomForestPredictor",
     "GradientBoostingPredictor",
     "AdaptiveSwitchingPredictor",
+    "TransferPredictor",
     "kfold_indices",
     "select_winner",
     "PREDICTORS",
@@ -113,3 +114,15 @@ def load_predictor(path: Union[str, Path]) -> PredictorBase:
         return predictor_from_payload(payload)
     except ValueError as exc:
         raise ValueError(f"predictor file {path}: {exc}") from None
+
+
+# Imported last: `repro.transfer.predictor` subclasses `PredictorBase`
+# from this package, so its import must not run before `protocol` has
+# been executed above.  With the class in hand, the transfer member joins
+# the registry like any other — `get_predictor("transfer")`,
+# `load_predictor`, `ESMConfig(predictor="transfer")`, and the contract
+# suite all see it through the same two tables.
+from ..transfer.predictor import TransferPredictor  # noqa: E402
+
+PREDICTORS["transfer"] = TransferPredictor
+_KINDS[TransferPredictor.KIND] = TransferPredictor

@@ -58,7 +58,21 @@ class PredictorOracle:
 
     def latency_batch(self, configs: Sequence["ArchConfig"]) -> np.ndarray:
         X = self.encoding.encode_batch(list(configs), self.spec)
-        return np.asarray(self.predictor.predict(X), dtype=float).reshape(-1)
+        lat = np.asarray(self.predictor.predict(X), dtype=float).reshape(-1)
+        # Search drivers and Pareto fronts assume latencies are finite; a
+        # surrogate emitting NaN/inf (a diverged fit, a badly extrapolated
+        # transfer map) must fail loudly here rather than silently pollute
+        # every front built downstream.
+        bad = np.flatnonzero(~np.isfinite(lat))
+        if bad.size:
+            first = int(bad[0])
+            raise ValueError(
+                f"oracle {self.name!r} produced {bad.size} non-finite "
+                f"latenc{'y' if bad.size == 1 else 'ies'} out of {lat.size} "
+                f"(first: {lat[first]!r} for config at batch index {first}); "
+                "refusing to feed them to a search"
+            )
+        return lat
 
     def latency(self, config: "ArchConfig") -> float:
         return float(self.latency_batch([config])[0])

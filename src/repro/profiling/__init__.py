@@ -7,6 +7,7 @@ without re-measuring anything, and the async device-fleet dispatcher
 from .campaign import CampaignError, CampaignResult, CampaignRunner
 from .clock import AsyncSystemClock, Clock, FakeClock, SystemClock, VirtualClock
 from .fleet import CircuitBreaker, DeviceSession, FleetRunner
+from .paired import PairedMeasurementSet, measure_paired
 from .protocol import MeasurementProtocol
 from .reference import QCResult, ReferenceSet
 from .report import (
@@ -40,4 +41,6 @@ __all__ = [
     "FakeClock",
     "AsyncSystemClock",
     "VirtualClock",
+    "PairedMeasurementSet",
+    "measure_paired",
 ]

@@ -1,0 +1,137 @@
+"""Regenerate ``transfer_golden_trace.json`` after an intentional change.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/regen_transfer_golden_trace.py
+
+Same contract as the other regen scripts: the parameters must stay
+identical to ``GOLDEN_PARAMS`` below, which the test suite asserts
+against the committed fixture (and against the experiment module's own
+smoke settings, so the CI smoke step runs exactly this config).  The
+fixture locks three layers of the transfer pipeline:
+
+* the monotone map's knots on the golden pair at the golden budget —
+  a PAVA regression moves a knot before it moves a headline metric,
+* the per-budget transfer/scratch MAPE + Kendall-tau table, and the
+  half-budget verdict the EXPERIMENTS.md claim rests on,
+* the sha256 of the full 12-pair smoke report — the transfer stack is
+  pure numpy end to end (CART base, count encodings, analytic
+  simulator; no BLAS anywhere), so the canonical JSON bytes are
+  platform-stable and lockable exactly.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.profiling.protocol import MeasurementProtocol
+from repro.transfer.experiments import (
+    _settings,
+    fit_proxy_surrogate,
+    run_experiment,
+    run_pair,
+)
+from repro.archspace.spaces import space_by_name
+
+GOLDEN_PARAMS = {
+    "space": "resnet",
+    "encoding": "fcc",
+    "base": "cart",
+    "proxy_device": "rtx4090",
+    "target_device": "raspberrypi4",
+    "seed": 0,
+    "budgets": [10, 25, 50],
+    "golden_budget": 25,
+    "n_proxy_samples": 120,
+    "n_eval": 160,
+    "protocol_runs": 8,
+}
+
+
+def smoke_settings_match() -> bool:
+    """The golden params are the experiment's smoke config, verbatim."""
+    smoke = _settings(smoke=True)
+    return (
+        list(smoke["budgets"]) == GOLDEN_PARAMS["budgets"]
+        and smoke["n_proxy_samples"] == GOLDEN_PARAMS["n_proxy_samples"]
+        and smoke["n_eval"] == GOLDEN_PARAMS["n_eval"]
+        and smoke["protocol_runs"] == GOLDEN_PARAMS["protocol_runs"]
+    )
+
+
+def run_golden_pair() -> dict:
+    """The golden (proxy, target) pair with full map detail."""
+    spec = space_by_name(GOLDEN_PARAMS["space"])
+    protocol = MeasurementProtocol(runs=GOLDEN_PARAMS["protocol_runs"])
+    proxy = fit_proxy_surrogate(
+        spec,
+        GOLDEN_PARAMS["encoding"],
+        GOLDEN_PARAMS["proxy_device"],
+        base=GOLDEN_PARAMS["base"],
+        n_proxy_samples=GOLDEN_PARAMS["n_proxy_samples"],
+        protocol=protocol,
+        seed=GOLDEN_PARAMS["seed"],
+    )
+    return run_pair(
+        proxy,
+        GOLDEN_PARAMS["proxy_device"],
+        GOLDEN_PARAMS["target_device"],
+        spec=spec,
+        encoding=GOLDEN_PARAMS["encoding"],
+        base=GOLDEN_PARAMS["base"],
+        budgets=GOLDEN_PARAMS["budgets"],
+        n_eval=GOLDEN_PARAMS["n_eval"],
+        protocol=protocol,
+        seed=GOLDEN_PARAMS["seed"],
+        detail=True,
+    )
+
+
+def run_smoke_report() -> dict:
+    """The full 12-pair smoke report the CI step reproduces."""
+    return run_experiment(
+        base=GOLDEN_PARAMS["base"],
+        space=GOLDEN_PARAMS["space"],
+        encoding=GOLDEN_PARAMS["encoding"],
+        seed=GOLDEN_PARAMS["seed"],
+        smoke=True,
+    )
+
+
+def report_sha256(report: dict) -> str:
+    """Hash of the canonical JSON string the CLI writes to disk."""
+    return hashlib.sha256(
+        json.dumps(report, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def main() -> None:
+    assert smoke_settings_match(), (
+        "GOLDEN_PARAMS no longer matches the experiment smoke settings; "
+        "update both together"
+    )
+    pair = run_golden_pair()
+    report = run_smoke_report()
+    golden = str(GOLDEN_PARAMS["golden_budget"])
+    fixture = {
+        "format_version": 1,
+        "kind": "transfer_golden_trace",
+        "params": GOLDEN_PARAMS,
+        "pair": pair,
+        "map_knots": pair["table"][golden]["transfer"]["map_knots"],
+        "report_sha256": report_sha256(report),
+        "summary": report["summary"],
+    }
+    out = Path(__file__).parent / "transfer_golden_trace.json"
+    out.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out} (match_budget={pair['match_budget']}, "
+        f"knots@{golden}={len(fixture['map_knots']['x'])}, "
+        f"half-budget wins={report['summary']['n_half_budget_ok']}"
+        f"/{report['summary']['n_pairs']}, "
+        f"sha256={fixture['report_sha256'][:12]}...)"
+    )
+
+
+if __name__ == "__main__":
+    main()

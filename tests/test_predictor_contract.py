@@ -1,9 +1,9 @@
 """The predictor contract, enforced over every registered implementation.
 
 One parametrized suite runs the whole zoo — MLP, both LUT variants, ridge,
-CART, random forest, gradient boosting, and the adaptive switcher —
-against the exact protocol `ESMLoop`, `PredictorOracle`, and run
-provenance rely on:
+CART, random forest, gradient boosting, the adaptive switcher, and the
+cross-device transfer wrapper — against the exact protocol `ESMLoop`,
+`PredictorOracle`, and run provenance rely on:
 
 * ``fit`` returns ``self``; ``predict`` yields a float64 1-D array, one
   finite value per row, and ``predict_one`` agrees with it,
@@ -44,6 +44,10 @@ CONTRACT_PREDICTORS = {
     "rf": {"n_estimators": 10},
     "gb": {"n_estimators": 30},
     "as": _FAST_AS_ZOO,
+    # Self-calibration mode: fits the ridge base on the data, then the
+    # monotone map on its own predictions.  The frozen-proxy mode gets
+    # its own dedicated suite in test_transfer_predictor.py.
+    "transfer": {"base": "ridge"},
 }
 
 # Members whose fit consumes randomness; the rest are exact solvers where

@@ -30,6 +30,7 @@ class TestRegistry:
             "rf",
             "gb",
             "as",
+            "transfer",
         }
 
     def test_instances(self):

@@ -1,0 +1,181 @@
+"""Golden-trace regression test for the cross-device transfer pipeline.
+
+Mirror of ``test_nas_constrained_golden.py`` for ``repro.transfer``: the
+seeded smoke experiment (rtx4090 proxy, raspberrypi4 target, CART base)
+is re-executed and locked against
+``tests/fixtures/transfer_golden_trace.json`` at three layers:
+
+* the monotone map's knots at the golden budget — a PAVA regression
+  moves a knot before it moves a headline metric,
+* the per-budget transfer/scratch MAPE + Kendall-tau table and the
+  half-budget verdict (the ISSUE acceptance: transfer matches
+  from-scratch MAPE with <= 50% of the target budget on this pair),
+* the sha256 of the full 12-pair smoke report.  The transfer stack is
+  pure numpy end to end (CART trees, count encodings, the analytic
+  simulator — no BLAS in the pipeline), so the canonical JSON bytes are
+  platform-stable and locked exactly, not approximately.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/fixtures/regen_transfer_golden_trace.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE_PATH = FIXTURES / "transfer_golden_trace.json"
+
+sys.path.insert(0, str(FIXTURES))
+from regen_transfer_golden_trace import (  # noqa: E402
+    GOLDEN_PARAMS,
+    report_sha256,
+    run_golden_pair,
+    run_smoke_report,
+    smoke_settings_match,
+)
+
+sys.path.pop(0)
+
+
+@pytest.fixture(scope="module")
+def fixture_raw():
+    assert FIXTURE_PATH.exists(), "committed transfer golden fixture missing"
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_pair():
+    return run_golden_pair()
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_smoke_report()
+
+
+class TestFixtureSchema:
+    """Schema lock: the fixture's shape is part of the contract."""
+
+    def test_header(self, fixture_raw):
+        assert fixture_raw["format_version"] == 1
+        assert fixture_raw["kind"] == "transfer_golden_trace"
+        assert set(fixture_raw) == {
+            "format_version",
+            "kind",
+            "params",
+            "pair",
+            "map_knots",
+            "report_sha256",
+            "summary",
+        }
+
+    def test_params_match_the_regen_constant(self, fixture_raw):
+        assert fixture_raw["params"] == GOLDEN_PARAMS
+
+    def test_golden_params_are_the_smoke_config(self):
+        # The CI smoke step runs `--smoke` with these exact settings; if
+        # the experiment module's smoke budgets drift, the fixture and
+        # the regen constant must be updated together.
+        assert smoke_settings_match()
+
+    def test_pair_schema(self, fixture_raw):
+        pair = fixture_raw["pair"]
+        assert pair["proxy_device"] == GOLDEN_PARAMS["proxy_device"]
+        assert pair["target_device"] == GOLDEN_PARAMS["target_device"]
+        assert set(pair["table"]) == {
+            str(b) for b in GOLDEN_PARAMS["budgets"]
+        }
+        for entry in pair["table"].values():
+            assert set(entry) == {"transfer", "scratch"}
+            assert set(entry["scratch"]) == {"mape", "kendall_tau"}
+            assert set(entry["transfer"]) == {
+                "mape",
+                "kendall_tau",
+                "n_knots",
+                "map_knots",
+            }
+
+    def test_map_knots_are_a_strictly_monotone_curve(self, fixture_raw):
+        knots = fixture_raw["map_knots"]
+        x, y = knots["x"], knots["y"]
+        assert len(x) == len(y) >= 2
+        assert all(a < b for a, b in zip(x, x[1:]))
+        assert all(a <= b for a, b in zip(y, y[1:]))
+        golden = str(GOLDEN_PARAMS["golden_budget"])
+        assert (
+            fixture_raw["pair"]["table"][golden]["transfer"]["map_knots"]
+            == knots
+        )
+
+
+class TestGoldenPair:
+    def test_map_knots_match_fixture(self, golden_pair, fixture_raw):
+        golden = str(GOLDEN_PARAMS["golden_budget"])
+        produced = golden_pair["table"][golden]["transfer"]["map_knots"]
+        expected = fixture_raw["map_knots"]
+        assert len(produced["x"]) == len(expected["x"])
+        for axis in ("x", "y"):
+            for got, want in zip(produced[axis], expected[axis]):
+                assert got == pytest.approx(want, rel=1e-9)
+
+    def test_budget_table_matches_fixture(self, golden_pair, fixture_raw):
+        for b, want in fixture_raw["pair"]["table"].items():
+            got = golden_pair["table"][b]
+            for side in ("transfer", "scratch"):
+                for metric in ("mape", "kendall_tau"):
+                    assert got[side][metric] == pytest.approx(
+                        want[side][metric], rel=1e-9
+                    ), f"table[{b}][{side}][{metric}]"
+            assert got["transfer"]["n_knots"] == want["transfer"]["n_knots"]
+
+    def test_half_budget_acceptance_on_the_golden_pair(
+        self, golden_pair, fixture_raw
+    ):
+        # The ISSUE's hard acceptance: on the committed smoke config the
+        # transfer surrogate matches the from-scratch surrogate's
+        # max-budget MAPE with at most half the target samples.
+        assert golden_pair["half_budget_ok"] is True
+        assert fixture_raw["pair"]["half_budget_ok"] is True
+        max_budget = GOLDEN_PARAMS["budgets"][-1]
+        assert 2 * golden_pair["match_budget"] <= max_budget
+        assert golden_pair["match_budget"] == fixture_raw["pair"]["match_budget"]
+
+    def test_transfer_beats_scratch_at_the_smallest_budget(self, golden_pair):
+        # The qualitative shape of the whole experiment: at 10 target
+        # samples the proxy + map beats fitting from scratch outright.
+        smallest = str(GOLDEN_PARAMS["budgets"][0])
+        entry = golden_pair["table"][smallest]
+        assert entry["transfer"]["mape"] < entry["scratch"]["mape"]
+
+
+class TestGoldenReport:
+    def test_report_sha256_matches_fixture(self, smoke_report, fixture_raw):
+        # Exact, not approximate: the pipeline is BLAS-free, so the
+        # canonical JSON is identical across platforms.  If this fails
+        # while the table test passes, something nondeterministic (or a
+        # schema change) entered the report.
+        assert report_sha256(smoke_report) == fixture_raw["report_sha256"]
+
+    def test_summary_matches_fixture(self, smoke_report, fixture_raw):
+        assert smoke_report["summary"] == fixture_raw["summary"]
+        assert smoke_report["summary"]["n_pairs"] == 12
+
+    def test_golden_pair_fragment_embedded_in_report(
+        self, smoke_report, golden_pair
+    ):
+        # The standalone pair run and the full-report pair agree on the
+        # numbers (the report omits the map-knot detail).
+        name = (
+            f"{GOLDEN_PARAMS['proxy_device']}->"
+            f"{GOLDEN_PARAMS['target_device']}"
+        )
+        fragment = smoke_report["pairs"][name]
+        assert fragment["match_budget"] == golden_pair["match_budget"]
+        for b, entry in fragment["table"].items():
+            assert entry["transfer"]["mape"] == pytest.approx(
+                golden_pair["table"][b]["transfer"]["mape"], rel=1e-12
+            )

@@ -1,0 +1,316 @@
+"""`TransferPredictor` semantics + the ESM loop's transfer warm start.
+
+The contract suite (test_predictor_contract.py) already runs the
+transfer wrapper through the registry-wide protocol checks in
+self-calibration mode; this file covers what is specific to transfer:
+
+* frozen-proxy mode — ``fit`` refits *only* the monotone map, the proxy
+  model's predictions are bit-identical before and after, and the
+  composition ``map.apply(proxy.predict(X))`` is exactly ``predict``,
+* persistence of the frozen proxy through save -> `load_predictor`,
+* `ESMConfig.transfer_from` validation and the loop's end-to-end warm
+  start: a proxy-device run's surrogate rides into a target-device run
+  whose measurement budget is spent only on target pairs,
+* the feature-space compatibility gate (encoding/space mismatch against
+  the proxy run is refused loudly),
+* `PredictorOracle`'s non-finite rejection — a badly extrapolated map
+  must fail with a diagnostic, not pollute a Pareto front.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    ESMConfig,
+    ESMLoop,
+    MonotoneLatencyMap,
+    PredictorOracle,
+    RandomSampler,
+    RidgePredictor,
+    TransferPredictor,
+    get_predictor,
+    load_predictor,
+    resnet_space,
+)
+from repro.core.loop import PREDICTOR_FILENAME
+
+
+def _toy(n=80, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 5, size=(n, d)).astype(float)
+    w = rng.uniform(0.5, 2.0, size=d)
+    y = X @ w + 1.0
+    return X, y
+
+
+@pytest.fixture()
+def proxy_fitted():
+    X, y = _toy(seed=1)
+    return RidgePredictor().fit(X, y), X, y
+
+
+class TestFrozenProxyMode:
+    def test_fit_refits_only_the_map(self, proxy_fitted):
+        proxy, X, y = proxy_fitted
+        before = proxy.predict(X)
+        transfer = TransferPredictor.from_proxy(proxy)
+        # Target latencies: a warped, noisy version of the proxy's.
+        rng = np.random.default_rng(2)
+        y_target = 3.0 * y**0.9 + rng.normal(0, 0.05, y.size)
+        transfer.fit(X, y_target)
+        assert transfer.is_frozen_proxy
+        assert transfer.proxy_kind == "ridge"
+        # The frozen proxy is untouched by fit — bit for bit.
+        np.testing.assert_array_equal(transfer.proxy_model.predict(X), before)
+
+    def test_predict_is_exactly_map_of_proxy(self, proxy_fitted):
+        proxy, X, y = proxy_fitted
+        transfer = TransferPredictor.from_proxy(proxy).fit(X, 2.0 * y + 0.5)
+        expected = transfer.map_.apply(proxy.predict(X))
+        np.testing.assert_array_equal(transfer.predict(X), expected)
+
+    def test_second_fit_replaces_the_map_not_the_proxy(self, proxy_fitted):
+        proxy, X, y = proxy_fitted
+        transfer = TransferPredictor.from_proxy(proxy)
+        transfer.fit(X[:40], 2.0 * y[:40])
+        first_map = transfer.map_.to_dict()
+        transfer.fit(X, 5.0 * y)
+        assert transfer.map_.to_dict() != first_map
+        np.testing.assert_array_equal(
+            transfer.proxy_model.predict(X), proxy.predict(X)
+        )
+
+    def test_monotone_map_recovers_a_monotone_device_gap(self, proxy_fitted):
+        # A clean monotone proxy->target relation is learned well enough
+        # to rank a held-out set perfectly.
+        proxy, X, y = proxy_fitted
+        transfer = TransferPredictor.from_proxy(proxy).fit(
+            X[:60], (2.5 * y[:60]) ** 1.1
+        )
+        held = transfer.predict(X[60:])
+        true = (2.5 * y[60:]) ** 1.1
+        assert np.all(np.sign(np.diff(held)) == np.sign(np.diff(true)))
+
+    def test_save_load_preserves_frozen_proxy(self, proxy_fitted, tmp_path):
+        proxy, X, y = proxy_fitted
+        transfer = TransferPredictor.from_proxy(proxy).fit(X, 2.0 * y)
+        transfer.save(tmp_path / "t.json")
+        clone = load_predictor(tmp_path / "t.json")
+        assert isinstance(clone, TransferPredictor)
+        assert clone.is_frozen_proxy
+        assert clone.proxy_kind == "ridge"
+        np.testing.assert_array_equal(clone.predict(X), transfer.predict(X))
+        # A further fit on the clone still leaves the proxy frozen.
+        clone.fit(X[:30], 7.0 * y[:30])
+        np.testing.assert_array_equal(
+            clone.proxy_model.predict(X), proxy.predict(X)
+        )
+
+    def test_too_few_pairs_rejected(self, proxy_fitted):
+        proxy, X, y = proxy_fitted
+        with pytest.raises(ValueError, match="at least 2"):
+            TransferPredictor.from_proxy(proxy).fit(X[:1], y[:1])
+
+
+class TestSelfCalibrationMode:
+    def test_base_is_fitted_then_calibrated(self):
+        X, y = _toy()
+        transfer = TransferPredictor(base="ridge").fit(X, y)
+        assert not transfer.is_frozen_proxy
+        assert transfer.proxy_kind == "ridge"
+        assert transfer.map_.n_pairs == len(y)
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError, match="unknown base"):
+            TransferPredictor(base="xgboost")
+
+    def test_transfer_as_its_own_base_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            TransferPredictor(base="transfer")
+
+    def test_registry_construction(self):
+        predictor = get_predictor("transfer", base="cart")
+        assert isinstance(predictor, TransferPredictor)
+        assert predictor.base == "cart"
+
+
+class TestESMConfigValidation:
+    def test_transfer_from_requires_transfer_predictor(self):
+        with pytest.raises(ValueError, match="predictor='transfer'"):
+            ESMConfig(space="resnet", transfer_from="/some/run")
+
+    def test_transfer_from_round_trips(self):
+        config = ESMConfig(
+            space="resnet",
+            predictor="transfer",
+            predictor_params={"base": "ridge"},
+            transfer_from="/proxy/run",
+        )
+        assert ESMConfig.from_dict(config.to_dict()) == config
+        assert config.to_dict()["transfer_from"] == "/proxy/run"
+
+    def test_unset_transfer_from_is_omitted_from_dict(self):
+        # Written only when set: configs (and golden fixtures) that
+        # predate the transfer layer keep byte-identical payloads.
+        assert "transfer_from" not in ESMConfig(space="resnet").to_dict()
+
+
+_PROXY_CONFIG = dict(
+    space="resnet",
+    device="rtx4090",
+    encoding="fcc",
+    predictor="ridge",
+    acc_th=70.0,
+    n_bins=4,
+    initial_size=24,
+    extension_size=8,
+    max_iterations=1,
+    runs=5,
+    n_references=2,
+    batch_size=8,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def proxy_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("proxy-run")
+    result = ESMLoop(
+        ESMConfig(**_PROXY_CONFIG), run_dir, sleep=lambda s: None
+    ).run()
+    return run_dir, result
+
+
+def _target_config(**overrides):
+    return ESMConfig(
+        **{
+            **_PROXY_CONFIG,
+            "device": "raspberrypi4",
+            "predictor": "transfer",
+            "predictor_params": {"base": "ridge"},
+            **overrides,
+        }
+    )
+
+
+class TestESMLoopTransferWarmStart:
+    def test_end_to_end_warm_start(self, proxy_run, tmp_path):
+        proxy_dir, proxy_result = proxy_run
+        config = _target_config(transfer_from=str(proxy_dir))
+        result = ESMLoop(config, tmp_path / "target", sleep=lambda s: None).run()
+        predictor = result.predictor
+        assert isinstance(predictor, TransferPredictor)
+        assert predictor.is_frozen_proxy
+        assert predictor.proxy_kind == "ridge"
+        # The frozen proxy is the proxy run's surrogate, not a refit:
+        # identical predictions on fresh architectures.
+        spec = resnet_space()
+        sample = RandomSampler(spec, rng=7).sample_batch(16)
+        from repro import encoder_for
+
+        X = encoder_for("fcc", spec).encode_batch(sample, spec)
+        np.testing.assert_array_equal(
+            predictor.proxy_model.predict(X),
+            proxy_result.predictor.predict(X),
+        )
+        # Round trip through the run artifacts and the oracle hand-off.
+        reloaded = load_predictor(tmp_path / "target" / PREDICTOR_FILENAME)
+        np.testing.assert_array_equal(
+            reloaded.predict(X), predictor.predict(X)
+        )
+        oracle = result.latency_oracle(spec=spec)
+        lat = oracle.latency_batch(sample)
+        assert lat.shape == (16,)
+        assert np.isfinite(lat).all()
+        assert (lat > 0).all()
+
+    def test_encoding_mismatch_rejected(self, proxy_run, tmp_path):
+        proxy_dir, _ = proxy_run
+        config = _target_config(
+            encoding="fc", transfer_from=str(proxy_dir)
+        )
+        with pytest.raises(ValueError, match="encoding"):
+            ESMLoop(config, tmp_path / "t", sleep=lambda s: None)
+
+    def test_missing_proxy_predictor_rejected(self, tmp_path):
+        empty = tmp_path / "not-a-run"
+        empty.mkdir()
+        config = _target_config(transfer_from=str(empty))
+        with pytest.raises(ValueError, match="no predictor.json"):
+            ESMLoop(config, tmp_path / "t", sleep=lambda s: None)
+
+    def test_corrupt_proxy_predictor_rejected(self, tmp_path):
+        broken = tmp_path / "broken-run"
+        broken.mkdir()
+        (broken / PREDICTOR_FILENAME).write_text("{not json")
+        config = _target_config(transfer_from=str(broken))
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ESMLoop(config, tmp_path / "t", sleep=lambda s: None)
+
+
+class _NaNPredictor:
+    """A diverged surrogate: finite on some rows, NaN on others."""
+
+    def __init__(self, bad_index=1):
+        self.bad_index = bad_index
+
+    def predict(self, X):
+        out = np.ones(X.shape[0])
+        if X.shape[0] > self.bad_index:
+            out[self.bad_index] = np.nan
+        return out
+
+
+class TestOracleNonFiniteRejection:
+    def test_nan_latency_fails_loudly_with_diagnostics(self):
+        spec = resnet_space()
+        oracle = PredictorOracle(_NaNPredictor(), "fcc", spec, name="bad")
+        configs = RandomSampler(spec, rng=0).sample_batch(3)
+        with pytest.raises(ValueError) as excinfo:
+            oracle.latency_batch(configs)
+        message = str(excinfo.value)
+        assert "'bad'" in message
+        assert "1 non-finite" in message
+        assert "batch index 1" in message
+
+    def test_inf_rejected_too(self):
+        spec = resnet_space()
+
+        class _InfPredictor:
+            def predict(self, X):
+                return np.full(X.shape[0], np.inf)
+
+        oracle = PredictorOracle(_InfPredictor(), "fcc", spec)
+        configs = RandomSampler(spec, rng=0).sample_batch(2)
+        with pytest.raises(ValueError, match="2 non-finite"):
+            oracle.latency_batch(configs)
+
+    def test_finite_predictions_pass_through(self):
+        from repro import encoder_for
+
+        spec = resnet_space()
+        train = RandomSampler(spec, rng=2).sample_batch(30)
+        X = encoder_for("fcc", spec).encode_batch(train, spec)
+        y = X.sum(axis=1) * 1e-4 + 1e-3
+        # A real transfer predictor behind the oracle: clamped
+        # extrapolation means finite in -> finite out, always.
+        transfer = TransferPredictor(base="ridge").fit(X, y)
+        oracle = PredictorOracle(transfer, "fcc", spec)
+        configs = RandomSampler(spec, rng=1).sample_batch(5)
+        assert np.isfinite(oracle.latency_batch(configs)).all()
+
+
+class TestMapExport:
+    def test_map_is_reusable_standalone(self, proxy_fitted):
+        # The fitted map can be lifted out of the predictor, serialised,
+        # and applied on its own — e.g. to calibrate scalar estimates.
+        proxy, X, y = proxy_fitted
+        transfer = TransferPredictor.from_proxy(proxy).fit(X, 2.0 * y)
+        wire = json.loads(json.dumps(transfer.map_.to_dict()))
+        clone = MonotoneLatencyMap.from_dict(wire)
+        assert clone == transfer.map_
+        assert clone.apply_one(float(proxy.predict(X[:1])[0])) == pytest.approx(
+            float(transfer.predict(X[:1])[0])
+        )
